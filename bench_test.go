@@ -1,0 +1,483 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the CRP paper's evaluation as a testing.B benchmark, reporting the
+// headline numbers via b.ReportMetric so `go test -bench` output doubles as
+// a results table (EXPERIMENTS.md records a full-scale run made with
+// cmd/crpbench). Reduced-scale scenarios keep the default bench run fast;
+// the shapes match the full-scale runs.
+package repro
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/crp"
+	"repro/internal/detour"
+	"repro/internal/dnswire"
+	"repro/internal/experiment"
+	"repro/internal/king"
+	"repro/internal/netsim"
+)
+
+var (
+	benchOnce sync.Once
+	benchSc   *experiment.Scenario
+	benchErr  error
+)
+
+// benchScenario is the shared reduced-scale world (same candidate density
+// as the paper).
+func benchScenario(b *testing.B) *experiment.Scenario {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSc, benchErr = experiment.NewScenario(experiment.ScenarioParams{
+			Seed:             1,
+			NumClients:       150,
+			NumCandidates:    240,
+			NumReplicas:      500,
+			MeridianFailures: true,
+		})
+	})
+	if benchErr != nil {
+		b.Fatalf("NewScenario: %v", benchErr)
+	}
+	return benchSc
+}
+
+func benchProbeCfg() experiment.ClosestNodeConfig {
+	return experiment.ClosestNodeConfig{
+		Schedule: experiment.ProbeSchedule{Interval: 10 * time.Minute, Probes: 36},
+	}
+}
+
+func benchSweepCfg() experiment.RankSweepConfig {
+	return experiment.RankSweepConfig{
+		Duration:          2 * 24 * time.Hour,
+		CandidateInterval: 30 * time.Minute,
+		DecisionPoints:    3,
+	}
+}
+
+// BenchmarkFig4ClosestNodeLatency regenerates Fig. 4: latency of the server
+// selected by Meridian vs CRP Top-1 vs CRP Top-5 for every client.
+func BenchmarkFig4ClosestNodeLatency(b *testing.B) {
+	sc := benchScenario(b)
+	var st experiment.ClosestNodeStats
+	for i := 0; i < b.N; i++ {
+		outcome, err := sc.RunClosestNode(benchProbeCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = outcome.Stats()
+	}
+	b.ReportMetric(st.MeanOptimal, "optimal_ms")
+	b.ReportMetric(st.MeanCRPTop1, "crp_top1_ms")
+	b.ReportMetric(st.MeanCRPTopK, "crp_top5_ms")
+	b.ReportMetric(st.MeanMeridian, "meridian_ms")
+	b.ReportMetric(100*st.FracTopKNearMeridian, "near_meridian_pct")
+}
+
+// BenchmarkFig5RelativeError regenerates Fig. 5: selected-minus-optimal RTT
+// at the median and 90th percentile for CRP and Meridian.
+func BenchmarkFig5RelativeError(b *testing.B) {
+	sc := benchScenario(b)
+	var crpErr, merErr []float64
+	for i := 0; i < b.N; i++ {
+		outcome, err := sc.RunClosestNode(benchProbeCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		crpErr = outcome.SortedSeries(func(r experiment.ClientResult) float64 { return r.CRPTopK - r.Optimal })
+		merErr = outcome.SortedSeries(func(r experiment.ClientResult) float64 { return r.Meridian - r.Optimal })
+	}
+	b.ReportMetric(crpErr[len(crpErr)/2], "crp_err_p50_ms")
+	b.ReportMetric(crpErr[len(crpErr)*9/10], "crp_err_p90_ms")
+	b.ReportMetric(merErr[len(merErr)/2], "meridian_err_p50_ms")
+	b.ReportMetric(merErr[len(merErr)*9/10], "meridian_err_p90_ms")
+}
+
+func benchClusterCfg() experiment.ClusteringConfig {
+	return experiment.ClusteringConfig{
+		NumNodes:   120,
+		Schedule:   experiment.ProbeSchedule{Interval: 10 * time.Minute, Probes: 36},
+		SecondPass: true,
+	}
+}
+
+// BenchmarkTable1ClusteringSummary regenerates Table I: clustering summary
+// statistics for CRP at t ∈ {0.01, 0.1, 0.5} vs ASN-based clustering.
+func BenchmarkTable1ClusteringSummary(b *testing.B) {
+	sc := benchScenario(b)
+	var outcome *experiment.ClusteringOutcome
+	for i := 0; i < b.N; i++ {
+		var err error
+		outcome, err = sc.RunClustering(benchClusterCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	focus := outcome.CRPRows[outcome.Focus]
+	b.ReportMetric(float64(focus.Summary.NodesClustered), "crp_nodes_clustered")
+	b.ReportMetric(float64(focus.Summary.NumClusters), "crp_clusters")
+	b.ReportMetric(float64(outcome.ASN.Summary.NodesClustered), "asn_nodes_clustered")
+	b.ReportMetric(float64(outcome.ASN.Summary.NumClusters), "asn_clusters")
+}
+
+// BenchmarkFig6ClusterCDF regenerates Fig. 6: the intra/inter-cluster
+// distance distribution and the good-cluster fraction for CRP at t=0.1.
+func BenchmarkFig6ClusterCDF(b *testing.B) {
+	sc := benchScenario(b)
+	var outcome *experiment.ClusteringOutcome
+	for i := 0; i < b.N; i++ {
+		var err error
+		outcome, err = sc.RunClustering(benchClusterCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	focus := outcome.CRPRows[outcome.Focus]
+	intra, inter := focus.IntraCDF()
+	if len(intra) > 0 {
+		b.ReportMetric(intra[len(intra)/2], "intra_p50_ms")
+		b.ReportMetric(inter[len(inter)/2], "inter_p50_ms")
+	}
+	b.ReportMetric(100*focus.GoodFraction(), "good_pct")
+}
+
+// BenchmarkFig7GoodClusters regenerates Fig. 7: good-cluster counts per
+// diameter bucket for CRP vs ASN.
+func BenchmarkFig7GoodClusters(b *testing.B) {
+	sc := benchScenario(b)
+	var outcome *experiment.ClusteringOutcome
+	for i := 0; i < b.N; i++ {
+		var err error
+		outcome, err = sc.RunClustering(benchClusterCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	focus := outcome.CRPRows[outcome.Focus]
+	b.ReportMetric(float64(focus.GoodBuckets[0]), "crp_good_0_25")
+	b.ReportMetric(float64(focus.GoodBuckets[1]), "crp_good_25_75")
+	b.ReportMetric(float64(outcome.ASN.GoodBuckets[0]), "asn_good_0_25")
+	b.ReportMetric(float64(outcome.ASN.GoodBuckets[1]), "asn_good_25_75")
+}
+
+// BenchmarkFig8ProbeInterval regenerates Fig. 8: average recommendation
+// rank as the probe interval stretches from 20 to 2000 minutes.
+func BenchmarkFig8ProbeInterval(b *testing.B) {
+	sc := benchScenario(b)
+	intervals := []time.Duration{20 * time.Minute, 100 * time.Minute, 500 * time.Minute, 2000 * time.Minute}
+	var series []experiment.RankSeries
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = sc.RunProbeIntervalSweep(intervals, benchSweepCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, iv := range []string{"rank_20min", "rank_100min", "rank_500min", "rank_2000min"} {
+		b.ReportMetric(series[i].Mean(), iv)
+	}
+	b.ReportMetric(float64(series[3].ClientsWithSignal), "clients_2000min")
+}
+
+// BenchmarkFig9WindowSize regenerates Fig. 9: average recommendation rank
+// for window sizes of all/30/10/5 probes at a 10-minute interval.
+func BenchmarkFig9WindowSize(b *testing.B) {
+	sc := benchScenario(b)
+	var series []experiment.RankSeries
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = sc.RunWindowSweep([]int{0, 30, 10, 5}, 10*time.Minute, benchSweepCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, label := range []string{"rank_all", "rank_30", "rank_10", "rank_5"} {
+		b.ReportMetric(series[i].Mean(), label)
+	}
+}
+
+// BenchmarkAblationSimilarityMetrics compares cosine vs Jaccard vs raw
+// overlap for closest-node selection.
+func BenchmarkAblationSimilarityMetrics(b *testing.B) {
+	sc := benchScenario(b)
+	var rows []experiment.SimilarityAblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = sc.RunSimilarityAblation(benchProbeCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MeanRank, r.Label+"_rank")
+	}
+}
+
+// BenchmarkAblationClusterCenters compares SMF center selection vs random
+// centers.
+func BenchmarkAblationClusterCenters(b *testing.B) {
+	sc := benchScenario(b)
+	var rows []experiment.CenterAblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = sc.RunCenterAblation(benchClusterCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].GoodBuckets[0]+rows[0].GoodBuckets[1]), "smf_good")
+	b.ReportMetric(float64(rows[1].GoodBuckets[0]+rows[1].GoodBuckets[1]), "random_good")
+}
+
+// BenchmarkAblationCoverage sweeps the CDN deployment size.
+func BenchmarkAblationCoverage(b *testing.B) {
+	var points []experiment.CoveragePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiment.RunCoverageSweep(
+			experiment.ScenarioParams{Seed: 1, NumClients: 80, NumCandidates: 120},
+			[]int{120, 480},
+			experiment.ClosestNodeConfig{Schedule: experiment.ProbeSchedule{Interval: 10 * time.Minute, Probes: 24}},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points[0].MeanCRPTopK, "sparse_cdn_ms")
+	b.ReportMetric(points[1].MeanCRPTopK, "dense_cdn_ms")
+}
+
+// BenchmarkAblationBaselines compares CRP, Meridian, Vivaldi and random
+// selection on one scenario.
+func BenchmarkAblationBaselines(b *testing.B) {
+	sc := benchScenario(b)
+	var rows []experiment.BaselineRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = sc.RunBaselineComparison(benchProbeCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Label {
+		case "optimal":
+			b.ReportMetric(r.MeanRTT, "optimal_ms")
+		case "meridian":
+			b.ReportMetric(r.MeanRTT, "meridian_ms")
+		case "vivaldi":
+			b.ReportMetric(r.MeanRTT, "vivaldi_ms")
+		case "binning":
+			b.ReportMetric(r.MeanRTT, "binning_ms")
+		case "gnp":
+			b.ReportMetric(r.MeanRTT, "gnp_ms")
+		case "random":
+			b.ReportMetric(r.MeanRTT, "random_ms")
+		}
+	}
+}
+
+// --- Micro-benchmarks for the core data paths ---
+
+func BenchmarkCosineSimilarity(b *testing.B) {
+	a := crp.RatioMap{}
+	c := crp.RatioMap{}
+	for i := 0; i < 12; i++ {
+		a[crp.ReplicaID(string(rune('a'+i)))] = float64(i + 1)
+		if i%2 == 0 {
+			c[crp.ReplicaID(string(rune('a'+i)))] = float64(13 - i)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = crp.CosineSimilarity(a, c)
+	}
+}
+
+func BenchmarkTrackerObserve(b *testing.B) {
+	tr := crp.NewTracker(crp.WithWindow(20))
+	at := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Observe(at.Add(time.Duration(i)*time.Minute), "r1", "r2")
+	}
+}
+
+func BenchmarkClusterSMF(b *testing.B) {
+	var nodes []crp.Node
+	for i := 0; i < 177; i++ {
+		group := i % 36
+		nodes = append(nodes, crp.Node{
+			ID: crp.NodeID(string(rune('A'+group)) + string(rune('a'+i/36))),
+			Map: crp.RatioMap{
+				crp.ReplicaID("g" + string(rune('A'+group)) + "1"): 0.7,
+				crp.ReplicaID("g" + string(rune('A'+group)) + "2"): 0.3,
+			},
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := crp.ClusterSMF(nodes, crp.ClusterConfig{Threshold: 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCDNRedirect(b *testing.B) {
+	sc := benchScenario(b)
+	name := sc.CDN.Names()[0]
+	clients := sc.Clients
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sc.CDN.Redirect(name, clients[i%len(clients)], time.Duration(i)*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRTTModel(b *testing.B) {
+	sc := benchScenario(b)
+	hosts := sc.Clients
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sc.Topo.RTTMs(hosts[i%len(hosts)], hosts[(i*7+1)%len(hosts)], time.Duration(i)*time.Second)
+	}
+}
+
+func BenchmarkDNSPackUnpack(b *testing.B) {
+	msg := &dnswire.Message{
+		Header: dnswire.Header{ID: 1, Response: true, Authoritative: true},
+		Questions: []dnswire.Question{
+			{Name: "us.i1.yimg.cdn.sim.", Type: dnswire.TypeA, Class: dnswire.ClassIN},
+		},
+		Answers: []dnswire.Record{
+			{Name: "us.i1.yimg.cdn.sim.", Type: dnswire.TypeCNAME, Class: dnswire.ClassIN, TTL: 20,
+				Data: &dnswire.CNAMERecord{Target: "g.cdn.sim."}},
+			{Name: "g.cdn.sim.", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 20,
+				Data: &dnswire.ARecord{Addr: mustAddr("10.1.2.3")}},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, err := msg.Pack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dnswire.Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeridianQuery(b *testing.B) {
+	sc := benchScenario(b)
+	overlay := sc.Meridian
+	entry := overlay.Members()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := overlay.ClosestTo(entry, sc.Clients[i%len(sc.Clients)], 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKingEstimate(b *testing.B) {
+	sc := benchScenario(b)
+	// King over the scenario's topology directly.
+	est := mustKing(b, sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := est.EstimateMs(sc.Clients[i%len(sc.Clients)], sc.Clients[(i*3+1)%len(sc.Clients)], 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Helpers.
+
+func mustAddr(s string) netip.Addr {
+	return netip.MustParseAddr(s)
+}
+
+func mustKing(b *testing.B, sc *experiment.Scenario) *king.Estimator {
+	b.Helper()
+	est, err := king.New(sc.Topo, sc.Candidates[0], 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return est
+}
+
+// BenchmarkPathRepair runs the §IV-B overlay path-repair study.
+func BenchmarkPathRepair(b *testing.B) {
+	sc := benchScenario(b)
+	var outcome *experiment.RepairOutcome
+	for i := 0; i < b.N; i++ {
+		var err error
+		outcome, err = sc.RunPathRepair(experiment.RepairConfig{
+			NumPaths: 100,
+			Schedule: experiment.ProbeSchedule{Interval: 10 * time.Minute, Probes: 24},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(outcome.MeanBefore, "before_ms")
+	b.ReportMetric(outcome.MeanOracle, "oracle_ms")
+	b.ReportMetric(outcome.MeanCRP, "crp_ms")
+	b.ReportMetric(outcome.MeanRandom, "random_ms")
+}
+
+// BenchmarkBootstrap runs the §VI cold-start study.
+func BenchmarkBootstrap(b *testing.B) {
+	sc := benchScenario(b)
+	var points []experiment.BootstrapPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = sc.RunBootstrap(experiment.BootstrapConfig{ProbeCounts: []int{1, 5, 10, 30}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points[0].MeanRank, "rank_1probe")
+	b.ReportMetric(points[2].MeanRank, "rank_10probes")
+	b.ReportMetric(points[3].MeanRank, "rank_30probes")
+}
+
+// BenchmarkDetourSurvey measures detour discovery over a 60-host population.
+func BenchmarkDetourSurvey(b *testing.B) {
+	sc := benchScenario(b)
+	hosts := sc.Clients[:60]
+	maps, err := sc.CollectRatioMaps(hosts, experiment.ProbeSchedule{
+		Interval: 10 * time.Minute, Probes: 24,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	finder, err := detour.NewFinder(
+		&detour.TopoEvaluator{Topo: sc.Topo, At: 4 * time.Hour},
+		func(r crp.ReplicaID) (netsim.HostID, bool) { return sc.Topo.HostByName(string(r)) },
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		_, frac, err = finder.Survey(hosts, maps)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*frac, "win_pct")
+}

@@ -1,0 +1,201 @@
+// Command crpbench regenerates every table and figure from the CRP paper's
+// evaluation, plus this repository's ablations, on the simulated wide-area
+// substrate. Each experiment prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations] [-quick] [-seed N]
+//
+// The default configuration matches the paper's scale (1,000 client DNS
+// servers, 240 candidate servers); -quick runs a reduced configuration for
+// a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "crpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("crpbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations")
+	quick := fs.Bool("quick", false, "run a reduced-scale configuration")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := experiment.DefaultScenarioParams()
+	params.Seed = *seed
+	sweepCfg := experiment.RankSweepConfig{}
+	probeCfg := experiment.ClosestNodeConfig{}
+	clusterCfg := experiment.ClusteringConfig{SecondPass: true}
+	if *quick {
+		// Keep the candidate density close to the paper's: CRP's Top-K
+		// averaging needs several candidates per metro to be meaningful.
+		params.NumClients = 150
+		params.NumCandidates = 240
+		params.NumReplicas = 500
+		sweepCfg.Duration = 2 * 24 * time.Hour
+		sweepCfg.CandidateInterval = 30 * time.Minute
+		probeCfg.Schedule = experiment.ProbeSchedule{Interval: 10 * time.Minute, Probes: 36}
+		clusterCfg.NumNodes = 100
+		clusterCfg.Schedule = probeCfg.Schedule
+	}
+
+	fmt.Printf("building scenario: %d clients, %d candidates, %d replicas, seed %d\n",
+		params.NumClients, params.NumCandidates, params.NumReplicas, params.Seed)
+	start := time.Now()
+	sc, err := experiment.NewScenario(params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	var closest *experiment.ClosestNodeOutcome
+	if want("fig4") || want("fig5") {
+		ran = true
+		closest, err = sc.RunClosestNode(probeCfg)
+		if err != nil {
+			return fmt.Errorf("closest-node experiment: %w", err)
+		}
+	}
+	if want("fig4") {
+		fmt.Println(experiment.RenderFig4(closest))
+	}
+	if want("fig5") {
+		fmt.Println(experiment.RenderFig5(closest))
+	}
+
+	if want("table1") || want("fig6") || want("fig7") {
+		ran = true
+		clusters, err := sc.RunClustering(clusterCfg)
+		if err != nil {
+			return fmt.Errorf("clustering experiment: %w", err)
+		}
+		if want("table1") {
+			fmt.Println(experiment.RenderTable1(clusters))
+		}
+		if want("fig6") {
+			fmt.Println(experiment.RenderFig6(clusters))
+		}
+		if want("fig7") {
+			fmt.Println(experiment.RenderFig7(clusters))
+		}
+	}
+
+	if want("fig8") {
+		ran = true
+		intervals := []time.Duration{20 * time.Minute, 100 * time.Minute, 500 * time.Minute, 2000 * time.Minute}
+		series, err := sc.RunProbeIntervalSweep(intervals, sweepCfg)
+		if err != nil {
+			return fmt.Errorf("probe-interval sweep: %w", err)
+		}
+		fmt.Println(experiment.RenderRankSeries(
+			"Fig. 8 — average rank vs probe interval (lower rank is better)", series))
+	}
+
+	if want("fig9") {
+		ran = true
+		series, err := sc.RunWindowSweep([]int{0, 30, 10, 5}, 10*time.Minute, sweepCfg)
+		if err != nil {
+			return fmt.Errorf("window sweep: %w", err)
+		}
+		fmt.Println(experiment.RenderRankSeries(
+			"Fig. 9 — average rank vs probe window size", series))
+	}
+
+	if want("repair") {
+		ran = true
+		repairCfg := experiment.RepairConfig{Schedule: probeCfg.Schedule}
+		if *quick {
+			repairCfg.NumPaths = 60
+		}
+		outcome, err := sc.RunPathRepair(repairCfg)
+		if err != nil {
+			return fmt.Errorf("path repair: %w", err)
+		}
+		fmt.Println(experiment.RenderPathRepair(outcome))
+	}
+
+	if want("sec6") {
+		ran = true
+		rows, err := sc.RunNameSelection(30, 10)
+		if err != nil {
+			return fmt.Errorf("name selection: %w", err)
+		}
+		fmt.Println(experiment.RenderNameSelection(rows))
+		fmt.Println(experiment.RenderOverhead(experiment.OverheadTable(0, []time.Duration{
+			10 * time.Minute, 100 * time.Minute, 2000 * time.Minute,
+		})))
+		points, err := sc.RunBootstrap(experiment.BootstrapConfig{})
+		if err != nil {
+			return fmt.Errorf("bootstrap study: %w", err)
+		}
+		fmt.Println(experiment.RenderBootstrap(points, 10*time.Minute))
+	}
+
+	if want("ablations") {
+		ran = true
+		if err := runAblations(sc, params, probeCfg, clusterCfg); err != nil {
+			return err
+		}
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want one of: all fig4 fig5 table1 fig6 fig7 fig8 fig9 repair sec6 ablations)", *exp)
+	}
+	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runAblations(sc *experiment.Scenario, params experiment.ScenarioParams,
+	probeCfg experiment.ClosestNodeConfig, clusterCfg experiment.ClusteringConfig) error {
+
+	rows, err := sc.RunSimilarityAblation(probeCfg)
+	if err != nil {
+		return fmt.Errorf("similarity ablation: %w", err)
+	}
+	fmt.Println(experiment.RenderSimilarityAblation(rows))
+
+	centers, err := sc.RunCenterAblation(clusterCfg)
+	if err != nil {
+		return fmt.Errorf("center ablation: %w", err)
+	}
+	fmt.Println(experiment.RenderCenterAblation(centers))
+
+	base := params
+	counts := []int{params.NumReplicas / 4, params.NumReplicas / 2, params.NumReplicas, params.NumReplicas * 2}
+	points, err := experiment.RunCoverageSweep(base, counts, probeCfg)
+	if err != nil {
+		return fmt.Errorf("coverage sweep: %w", err)
+	}
+	fmt.Println(experiment.RenderCoverageSweep(points))
+
+	baselines, err := sc.RunBaselineComparison(probeCfg)
+	if err != nil {
+		return fmt.Errorf("baseline comparison: %w", err)
+	}
+	fmt.Println(experiment.RenderBaselineComparison(baselines))
+
+	stability, err := sc.RunClusterStability(experiment.StabilityConfig{})
+	if err != nil {
+		return fmt.Errorf("cluster stability: %w", err)
+	}
+	fmt.Println(experiment.RenderClusterStability(stability))
+	return nil
+}

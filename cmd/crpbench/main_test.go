@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-quick", "-exp", "fig99"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+func TestRunQuickSingleExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	// One cheap experiment from each family exercises the full dispatch.
+	for _, exp := range []string{"table1", "repair"} {
+		if err := run([]string{"-quick", "-exp", exp}); err != nil {
+			t.Errorf("run -quick -exp %s: %v", exp, err)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/crp"
+)
+
+// request is the union of all operation payloads.
+type request struct {
+	Op         string   `json:"op"`
+	Node       string   `json:"node,omitempty"`
+	Replicas   []string `json:"replicas,omitempty"`
+	A          string   `json:"a,omitempty"`
+	B          string   `json:"b,omitempty"`
+	Client     string   `json:"client,omitempty"`
+	Candidates []string `json:"candidates,omitempty"`
+	K          int      `json:"k,omitempty"`
+	N          int      `json:"n,omitempty"`
+	Threshold  float64  `json:"threshold,omitempty"`
+}
+
+// response is the generic reply envelope.
+type response struct {
+	OK         bool               `json:"ok"`
+	Error      string             `json:"error,omitempty"`
+	Similarity *float64           `json:"similarity,omitempty"`
+	RatioMap   map[string]float64 `json:"ratioMap,omitempty"`
+	Nodes      []string           `json:"nodes,omitempty"`
+	Ranked     []rankedNode       `json:"ranked,omitempty"`
+}
+
+type rankedNode struct {
+	Node       string  `json:"node"`
+	Similarity float64 `json:"similarity"`
+}
+
+// daemon wires the UDP front end to a crp.Service.
+type daemon struct {
+	svc *crp.Service
+	now func() time.Time
+}
+
+func newDaemon(svc *crp.Service) *daemon {
+	return &daemon{svc: svc, now: time.Now}
+}
+
+// serve answers datagrams until the socket is closed.
+func (d *daemon) serve(pc net.PacketConn) error {
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		reply := d.handle(buf[:n])
+		if _, err := pc.WriteTo(reply, from); err != nil {
+			return err
+		}
+	}
+}
+
+// handle processes one JSON request and returns the JSON reply.
+func (d *daemon) handle(raw []byte) []byte {
+	var req request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return marshal(response{Error: fmt.Sprintf("bad request: %v", err)})
+	}
+	resp := d.dispatch(req)
+	return marshal(resp)
+}
+
+func (d *daemon) dispatch(req request) response {
+	fail := func(err error) response { return response{Error: err.Error()} }
+	cfg := crp.ClusterConfig{Threshold: req.Threshold, SecondPass: true}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = crp.DefaultThreshold
+	}
+
+	switch req.Op {
+	case "observe":
+		replicas := make([]crp.ReplicaID, len(req.Replicas))
+		for i, r := range req.Replicas {
+			replicas[i] = crp.ReplicaID(r)
+		}
+		if err := d.svc.Observe(crp.NodeID(req.Node), d.now(), replicas...); err != nil {
+			return fail(err)
+		}
+		return response{OK: true}
+
+	case "ratio_map":
+		m, err := d.svc.RatioMap(crp.NodeID(req.Node))
+		if err != nil {
+			return fail(err)
+		}
+		out := make(map[string]float64, len(m))
+		for r, f := range m {
+			out[string(r)] = f
+		}
+		return response{OK: true, RatioMap: out}
+
+	case "similarity":
+		sim, err := d.svc.Similarity(crp.NodeID(req.A), crp.NodeID(req.B))
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, Similarity: &sim}
+
+	case "closest":
+		k := req.K
+		if k <= 0 {
+			k = 1
+		}
+		cands := make([]crp.NodeID, len(req.Candidates))
+		for i, c := range req.Candidates {
+			cands[i] = crp.NodeID(c)
+		}
+		ranked, err := d.svc.TopK(crp.NodeID(req.Client), cands, k)
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, Ranked: toRanked(ranked)}
+
+	case "same_cluster":
+		peers, err := d.svc.SameCluster(crp.NodeID(req.Node), cfg)
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, Nodes: toStrings(peers)}
+
+	case "distinct_clusters":
+		n := req.N
+		if n <= 0 {
+			n = 1
+		}
+		nodes, err := d.svc.DistinctClusters(n, cfg)
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, Nodes: toStrings(nodes)}
+
+	case "nodes":
+		return response{OK: true, Nodes: toStrings(d.svc.Nodes())}
+
+	default:
+		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func toStrings(ids []crp.NodeID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
+}
+
+func toRanked(scored []crp.Scored) []rankedNode {
+	out := make([]rankedNode, len(scored))
+	for i, s := range scored {
+		out[i] = rankedNode{Node: string(s.Node), Similarity: s.Similarity}
+	}
+	return out
+}
+
+func marshal(resp response) []byte {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		// The response type contains nothing unmarshalable; this is
+		// unreachable, but fail closed with a static error.
+		return []byte(`{"ok":false,"error":"internal marshal failure"}`)
+	}
+	return b
+}

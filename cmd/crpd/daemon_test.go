@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"repro/crp"
+)
+
+func testDaemon() *daemon {
+	d := newDaemon(crp.NewService(crp.WithWindow(10)))
+	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	n := 0
+	d.now = func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Minute)
+	}
+	return d
+}
+
+func do(t *testing.T, d *daemon, req string) response {
+	t.Helper()
+	var resp response
+	if err := json.Unmarshal(d.handle([]byte(req)), &resp); err != nil {
+		t.Fatalf("bad JSON reply: %v", err)
+	}
+	return resp
+}
+
+func seed(t *testing.T, d *daemon) {
+	t.Helper()
+	for i := 0; i < 5; i++ {
+		for node, reps := range map[string]string{
+			"west-1": `["rw1","rw2"]`,
+			"west-2": `["rw1","rw2"]`,
+			"east-1": `["re1","re2"]`,
+			"east-2": `["re1"]`,
+		} {
+			resp := do(t, d, `{"op":"observe","node":"`+node+`","replicas":`+reps+`}`)
+			if !resp.OK {
+				t.Fatalf("observe failed: %+v", resp)
+			}
+		}
+	}
+}
+
+func TestDaemonObserveAndRatioMap(t *testing.T) {
+	d := testDaemon()
+	seed(t, d)
+	resp := do(t, d, `{"op":"ratio_map","node":"west-1"}`)
+	if !resp.OK || len(resp.RatioMap) != 2 {
+		t.Fatalf("ratio_map = %+v", resp)
+	}
+	sum := 0.0
+	for _, f := range resp.RatioMap {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("ratios sum to %v", sum)
+	}
+}
+
+func TestDaemonSimilarity(t *testing.T) {
+	d := testDaemon()
+	seed(t, d)
+	same := do(t, d, `{"op":"similarity","a":"west-1","b":"west-2"}`)
+	cross := do(t, d, `{"op":"similarity","a":"west-1","b":"east-1"}`)
+	if !same.OK || !cross.OK || same.Similarity == nil || cross.Similarity == nil {
+		t.Fatalf("similarity replies: %+v / %+v", same, cross)
+	}
+	if *same.Similarity <= *cross.Similarity {
+		t.Errorf("same-coast similarity %v not above cross-coast %v",
+			*same.Similarity, *cross.Similarity)
+	}
+	if resp := do(t, d, `{"op":"similarity","a":"west-1","b":"ghost"}`); resp.OK {
+		t.Error("similarity with unknown node should fail")
+	}
+}
+
+func TestDaemonClosest(t *testing.T) {
+	d := testDaemon()
+	seed(t, d)
+	resp := do(t, d, `{"op":"closest","client":"west-1","candidates":["west-2","east-1"],"k":2}`)
+	if !resp.OK || len(resp.Ranked) != 2 {
+		t.Fatalf("closest = %+v", resp)
+	}
+	if resp.Ranked[0].Node != "west-2" {
+		t.Errorf("closest to west-1 = %q, want west-2", resp.Ranked[0].Node)
+	}
+}
+
+func TestDaemonClusterQueries(t *testing.T) {
+	d := testDaemon()
+	seed(t, d)
+	same := do(t, d, `{"op":"same_cluster","node":"west-1"}`)
+	if !same.OK {
+		t.Fatalf("same_cluster = %+v", same)
+	}
+	found := false
+	for _, n := range same.Nodes {
+		if n == "west-2" {
+			found = true
+		}
+		if n == "east-1" || n == "east-2" {
+			t.Errorf("east node %q in west-1's cluster", n)
+		}
+	}
+	if !found {
+		t.Error("west-2 missing from west-1's cluster")
+	}
+
+	distinct := do(t, d, `{"op":"distinct_clusters","n":2}`)
+	if !distinct.OK || len(distinct.Nodes) != 2 {
+		t.Fatalf("distinct_clusters = %+v", distinct)
+	}
+	if distinct.Nodes[0][0] == distinct.Nodes[1][0] {
+		t.Errorf("distinct cluster picks %v from the same coast", distinct.Nodes)
+	}
+}
+
+func TestDaemonNodesAndErrors(t *testing.T) {
+	d := testDaemon()
+	seed(t, d)
+	nodes := do(t, d, `{"op":"nodes"}`)
+	if !nodes.OK || len(nodes.Nodes) != 4 {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+	if resp := do(t, d, `{"op":"warp"}`); resp.OK {
+		t.Error("unknown op should fail")
+	}
+	if resp := do(t, d, `not json`); resp.OK {
+		t.Error("bad JSON should fail")
+	}
+	if resp := do(t, d, `{"op":"observe","node":""}`); resp.OK {
+		t.Error("observe with empty node should fail")
+	}
+}
+
+func TestDaemonOverUDP(t *testing.T) {
+	d := testDaemon()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = d.serve(pc)
+	}()
+	defer func() {
+		pc.Close()
+		<-done
+	}()
+
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if _, err := conn.Write([]byte(`{"op":"observe","node":"n1","replicas":["r1"]}`)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := json.Unmarshal(buf[:n], &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("observe over UDP = %+v", resp)
+	}
+}
+
+func TestStateSaveAndLoad(t *testing.T) {
+	d := testDaemon()
+	seed(t, d)
+	path := t.TempDir() + "/state.json"
+	if err := saveState(d.svc, path); err != nil {
+		t.Fatalf("saveState: %v", err)
+	}
+
+	restored := crp.NewService(crp.WithWindow(10))
+	if err := loadState(restored, path); err != nil {
+		t.Fatalf("loadState: %v", err)
+	}
+	if got, want := len(restored.Nodes()), len(d.svc.Nodes()); got != want {
+		t.Errorf("restored %d nodes, want %d", got, want)
+	}
+	sim, err := restored.Similarity("west-1", "west-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim <= 0 {
+		t.Errorf("restored similarity = %v, want > 0", sim)
+	}
+}
+
+func TestLoadStateMissingFileIsFirstRun(t *testing.T) {
+	svc := crp.NewService()
+	if err := loadState(svc, t.TempDir()+"/nonexistent.json"); err != nil {
+		t.Errorf("missing state file should be tolerated: %v", err)
+	}
+}
+
+func TestLoadStateCorruptFileFails(t *testing.T) {
+	path := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadState(crp.NewService(), path); err == nil {
+		t.Error("corrupt state file accepted")
+	}
+}

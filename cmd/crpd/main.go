@@ -1,0 +1,129 @@
+// Command crpd runs the stand-alone CRP positioning service as a network
+// daemon: applications report the CDN redirections they observe (e.g., from
+// passively watching their own DNS traffic) and query relative positions,
+// closest nodes and clusters. The protocol is one JSON object per UDP
+// datagram — deliberately minimal, mirroring the paper's argument that a
+// CRP service is easy to integrate through well-known interfaces.
+//
+// Usage:
+//
+//	crpd [-listen 127.0.0.1:5353] [-window 10]
+//
+// Request shapes:
+//
+//	{"op":"observe","node":"n1","replicas":["r1","r2"]}
+//	{"op":"ratio_map","node":"n1"}
+//	{"op":"similarity","a":"n1","b":"n2"}
+//	{"op":"closest","client":"n1","candidates":["n2","n3"],"k":2}
+//	{"op":"same_cluster","node":"n1","threshold":0.1}
+//	{"op":"distinct_clusters","n":3,"threshold":0.1}
+//	{"op":"nodes"}
+//
+// Every response carries {"ok":true,...} or {"ok":false,"error":"..."}.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/crp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "crpd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	flags := flag.NewFlagSet("crpd", flag.ContinueOnError)
+	listen := flags.String("listen", "127.0.0.1:5353", "UDP address to listen on")
+	window := flags.Int("window", 10, "probe window per node (0 = unbounded)")
+	statePath := flags.String("state", "", "snapshot file: loaded at startup, written on shutdown")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+
+	var opts []crp.TrackerOption
+	if *window > 0 {
+		opts = append(opts, crp.WithWindow(*window))
+	}
+	svc := crp.NewService(opts...)
+
+	// Warm start: CRP's bootstrap time is ~100 minutes of history, so a
+	// restarting daemon reloads its redirection state.
+	if *statePath != "" {
+		if err := loadState(svc, *statePath); err != nil {
+			return err
+		}
+	}
+
+	pc, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		return err
+	}
+	d := newDaemon(svc)
+	fmt.Printf("crpd listening on %s (window %d)\n", pc.LocalAddr(), *window)
+
+	// On SIGINT/SIGTERM: snapshot, then stop serving by closing the socket.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-sig
+		if *statePath != "" {
+			if err := saveState(svc, *statePath); err != nil {
+				fmt.Fprintln(os.Stderr, "crpd: save state:", err)
+			}
+		}
+		pc.Close()
+	}()
+
+	err = d.serve(pc)
+	select {
+	case <-done:
+		return nil // clean shutdown via signal
+	default:
+		return err
+	}
+}
+
+func loadState(svc *crp.Service, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil // first run
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := svc.LoadSnapshot(f); err != nil {
+		return fmt.Errorf("load state %q: %w", path, err)
+	}
+	fmt.Printf("crpd restored %d nodes from %s\n", len(svc.Nodes()), path)
+	return nil
+}
+
+func saveState(svc *crp.Service, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := svc.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,117 @@
+// Command dnsprobe is a dig-like client against the simulated CDN: it boots
+// the topology, serves the CDN zone on a local UDP socket through the
+// dnswire codec, and issues queries from the vantage point of a chosen
+// client host, printing the answers and the evolving redirection ratio map.
+//
+// Usage:
+//
+//	dnsprobe [-seed N] [-client N] [-probes N] [-name FQDN]
+//
+// This exercises the exact DNS wire path a real CRP deployment would use:
+// build query → UDP → authoritative server → mapping system → UDP → parse.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/crp"
+	"repro/internal/cdn"
+	"repro/internal/dnsserver"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dnsprobe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dnsprobe", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	clientIdx := fs.Int("client", 0, "index of the client host to probe from")
+	probes := fs.Int("probes", 10, "number of probes to issue")
+	name := fs.String("name", "", "name to query (default: first CDN name)")
+	interval := fs.Duration("interval", 10*time.Minute, "virtual time between probes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := netsim.DefaultParams()
+	params.Seed = *seed
+	params.NumClients = 200
+	params.NumCandidates = 50
+	params.NumReplicas = 200
+	topo, err := netsim.Generate(params)
+	if err != nil {
+		return err
+	}
+	network, err := cdn.New(cdn.Config{Topo: topo})
+	if err != nil {
+		return err
+	}
+	clock := netsim.NewClock()
+	backend := &dnsserver.CDNBackend{Topo: topo, CDN: network, Clock: clock}
+
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	registry := dnsserver.NewRegistry()
+	srv, err := dnsserver.Serve(pc, backend, registry)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	clients := topo.Clients()
+	if *clientIdx < 0 || *clientIdx >= len(clients) {
+		return fmt.Errorf("client index %d out of range [0,%d)", *clientIdx, len(clients))
+	}
+	ldns := clients[*clientIdx]
+	host := topo.Host(ldns)
+	fmt.Printf("; probing as %s (%s, %s, AS%d) via %s\n\n",
+		host.Name, host.Addr, host.Region, host.ASN, srv.Addr())
+
+	client, err := dnsserver.NewClient(srv.Addr(), registry, ldns)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	qname := *name
+	if qname == "" {
+		qname = network.Names()[0]
+	}
+
+	tracker := crp.NewTracker()
+	epoch := time.Now()
+	for i := 0; i < *probes; i++ {
+		resp, err := client.Query(qname, dnswire.TypeA)
+		if err != nil {
+			return fmt.Errorf("probe %d: %w", i+1, err)
+		}
+		fmt.Printf(";; probe %d at t=%v — %s, %d answers\n",
+			i+1, clock.Now(), resp.RCode, len(resp.Answers))
+		var ids []crp.ReplicaID
+		for _, rec := range resp.Answers {
+			fmt.Printf("%s\n", rec)
+			if a, ok := rec.Data.(*dnswire.ARecord); ok {
+				if id, ok := topo.HostByAddr(a.Addr); ok {
+					ids = append(ids, crp.ReplicaID(topo.Host(id).Name))
+				}
+			}
+		}
+		tracker.Observe(epoch.Add(clock.Now()), ids...)
+		clock.Advance(*interval)
+	}
+
+	fmt.Printf("\n;; ratio map after %d probes:\n;; %s\n", tracker.Len(), tracker.RatioMap())
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunProbes(t *testing.T) {
+	if err := run([]string{"-probes", "3", "-client", "2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{"-client", "99999"}); err == nil {
+		t.Error("out-of-range client index should fail")
+	}
+	if err := run([]string{"-probes", "1", "-name", "nonexistent.sim."}); err == nil {
+		// dnsprobe queries an unknown name: the server answers NXDOMAIN,
+		// which is still a successful probe exchange.
+		t.Log("unknown name answered (NXDOMAIN) — acceptable")
+	}
+}

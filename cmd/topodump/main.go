@@ -1,0 +1,68 @@
+// Command topodump generates a simulation topology and writes it as JSON to
+// stdout (or a file), for external analysis — plotting host placements,
+// inspecting AS structure, or hand-crafting regression scenarios that
+// netsim.LoadJSON can replay.
+//
+// Usage:
+//
+//	topodump [-seed N] [-clients N] [-candidates N] [-replicas N] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/netsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topodump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	flags := flag.NewFlagSet("topodump", flag.ContinueOnError)
+	seed := flags.Int64("seed", 1, "simulation seed")
+	clients := flags.Int("clients", 0, "number of client hosts (0 = default)")
+	candidates := flags.Int("candidates", 0, "number of candidate servers (0 = default)")
+	replicas := flags.Int("replicas", 0, "number of CDN replicas (0 = default)")
+	out := flags.String("o", "", "output file (default stdout)")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+
+	params := netsim.DefaultParams()
+	params.Seed = *seed
+	if *clients > 0 {
+		params.NumClients = *clients
+	}
+	if *candidates > 0 {
+		params.NumCandidates = *candidates
+	}
+	if *replicas > 0 {
+		params.NumReplicas = *replicas
+	}
+	topo, err := netsim.Generate(params)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	return topo.WriteJSON(w)
+}

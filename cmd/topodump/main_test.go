@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func TestRunWritesLoadableJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-seed", "3", "-clients", "30", "-candidates", "10", "-replicas", "40"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	topo, err := netsim.LoadJSON(&buf)
+	if err != nil {
+		t.Fatalf("LoadJSON: %v", err)
+	}
+	if got := len(topo.Clients()); got != 30 {
+		t.Errorf("clients = %d, want 30", got)
+	}
+	if got := len(topo.Replicas()); got != 40 {
+		t.Errorf("replicas = %d, want 40", got)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := run([]string{"-clients", "10", "-candidates", "5", "-replicas", "20", "-o", path}, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := netsim.LoadJSON(f); err != nil {
+		t.Errorf("written file not loadable: %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, nil); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

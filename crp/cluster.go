@@ -1,0 +1,203 @@
+package crp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Node couples a node identity with its redirection ratio map, as input to
+// clustering.
+type Node struct {
+	ID  NodeID
+	Map RatioMap
+}
+
+// Cluster is a group of nodes believed to be mutually nearby. Members
+// includes the center.
+type Cluster struct {
+	Center  NodeID
+	Members []NodeID
+}
+
+// Size returns the number of members (including the center).
+func (c Cluster) Size() int { return len(c.Members) }
+
+// ClusterConfig parameterizes ClusterSMF.
+type ClusterConfig struct {
+	// Threshold is the minimum cosine similarity t for a node to join a
+	// cluster. The paper studies t ∈ {0.01, 0.1, 0.5} and settles on 0.1.
+	Threshold float64
+	// SecondPass enables the optional pass that promotes unclustered nodes
+	// to centers and groups the remaining singletons around them.
+	SecondPass bool
+	// Seed drives the second pass's random choice of singleton centers.
+	Seed int64
+}
+
+// DefaultThreshold is the similarity threshold the paper selects (t = 0.1).
+const DefaultThreshold = 0.1
+
+// ClusterSMF clusters nodes with the paper's Strongest Mappings First
+// algorithm (§V-B):
+//
+//  1. Cluster centers are the nodes with the strongest mappings to replica
+//     servers: for every replica server, among the nodes whose dominant
+//     (highest-ratio) replica it is, the node with the highest such ratio
+//     becomes a center. Centers therefore emerge from the data and no
+//     target cluster count is needed — the reason the paper rejects k-means.
+//  2. Every remaining node is assigned to the center with the largest
+//     cosine similarity if that similarity is at least Threshold; otherwise
+//     it forms its own singleton cluster.
+//  3. Optionally (SecondPass), unclustered nodes are promoted to centers in
+//     random order and remaining singletons with similarity ≥ Threshold
+//     join them.
+//
+// The returned clusters are sorted by decreasing size, then center ID.
+// Singleton clusters are included; Summarize and the paper's accounting
+// treat only clusters of size ≥ 2 as "clustered" nodes.
+func ClusterSMF(nodes []Node, cfg ClusterConfig) ([]Cluster, error) {
+	if cfg.Threshold < 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("crp: threshold %v outside [0,1]", cfg.Threshold)
+	}
+	seen := make(map[NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		if n.ID == "" {
+			return nil, errors.New("crp: node with empty ID")
+		}
+		if seen[n.ID] {
+			return nil, fmt.Errorf("crp: duplicate node ID %q", n.ID)
+		}
+		seen[n.ID] = true
+	}
+
+	// Work on a sorted copy for determinism.
+	sorted := make([]Node, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	// Step 1: strongest mapping per replica server → centers.
+	type strongest struct {
+		node  NodeID
+		ratio float64
+	}
+	best := make(map[ReplicaID]strongest)
+	for _, n := range sorted {
+		r, f := dominant(n.Map)
+		if r == "" {
+			continue // empty map: cannot be a center
+		}
+		if cur, ok := best[r]; !ok || f > cur.ratio {
+			best[r] = strongest{n.ID, f}
+		}
+	}
+	isCenter := make(map[NodeID]bool, len(best))
+	for _, s := range best {
+		isCenter[s.node] = true
+	}
+
+	maps := make(map[NodeID]RatioMap, len(sorted))
+	for _, n := range sorted {
+		maps[n.ID] = n.Map
+	}
+
+	var centers []NodeID
+	for _, n := range sorted {
+		if isCenter[n.ID] {
+			centers = append(centers, n.ID)
+		}
+	}
+
+	clusters := make(map[NodeID]*Cluster, len(centers))
+	for _, c := range centers {
+		clusters[c] = &Cluster{Center: c, Members: []NodeID{c}}
+	}
+
+	// Step 2: assign non-centers to the most similar center above t.
+	var singletons []NodeID
+	for _, n := range sorted {
+		if isCenter[n.ID] {
+			continue
+		}
+		bestCenter, bestSim := NodeID(""), 0.0
+		for _, c := range centers {
+			if sim := CosineSimilarity(n.Map, maps[c]); sim > bestSim ||
+				(sim == bestSim && sim > 0 && (bestCenter == "" || c < bestCenter)) {
+				bestCenter, bestSim = c, sim
+			}
+		}
+		if bestCenter != "" && bestSim >= cfg.Threshold && bestSim > 0 {
+			cl := clusters[bestCenter]
+			cl.Members = append(cl.Members, n.ID)
+		} else {
+			singletons = append(singletons, n.ID)
+		}
+	}
+
+	// Step 3: optional second pass over the singletons.
+	if cfg.SecondPass && len(singletons) > 1 {
+		rng := rand.New(rand.NewPCG(uint64(cfg.Seed), 0x534d46))
+		remaining := append([]NodeID(nil), singletons...)
+		singletons = singletons[:0]
+		for len(remaining) > 0 {
+			// Pick a random unclustered node as a new center.
+			i := rng.IntN(len(remaining))
+			center := remaining[i]
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			cl := &Cluster{Center: center, Members: []NodeID{center}}
+			kept := remaining[:0]
+			for _, id := range remaining {
+				if sim := CosineSimilarity(maps[id], maps[center]); sim >= cfg.Threshold && sim > 0 {
+					cl.Members = append(cl.Members, id)
+				} else {
+					kept = append(kept, id)
+				}
+			}
+			remaining = kept
+			clusters[center] = cl
+			centers = append(centers, center)
+		}
+	} else {
+		for _, id := range singletons {
+			clusters[id] = &Cluster{Center: id, Members: []NodeID{id}}
+			centers = append(centers, id)
+		}
+		singletons = nil
+	}
+	for _, id := range singletons {
+		clusters[id] = &Cluster{Center: id, Members: []NodeID{id}}
+		centers = append(centers, id)
+	}
+
+	out := make([]Cluster, 0, len(clusters))
+	for _, c := range centers {
+		cl := clusters[c]
+		sort.Slice(cl.Members, func(i, j int) bool { return cl.Members[i] < cl.Members[j] })
+		out = append(out, *cl)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Center < out[j].Center
+	})
+	return out, nil
+}
+
+// dominant returns the replica with the highest ratio in m and that ratio,
+// breaking ties toward the lexicographically smallest replica for
+// determinism. An empty map yields ("", 0).
+func dominant(m RatioMap) (ReplicaID, float64) {
+	var bestR ReplicaID
+	bestF := -1.0
+	for r, f := range m {
+		if f > bestF || (f == bestF && r < bestR) {
+			bestR, bestF = r, f
+		}
+	}
+	if bestF < 0 {
+		return "", 0
+	}
+	return bestR, bestF
+}

@@ -1,0 +1,132 @@
+package crp
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// nodesFromRaw builds a node set from fuzz bytes: each row becomes one node
+// with up to 5 replica entries drawn from a small replica universe.
+func nodesFromRaw(raw [][5]byte) []Node {
+	nodes := make([]Node, 0, len(raw))
+	for i, row := range raw {
+		m := RatioMap{}
+		for j, b := range row {
+			if b == 0 {
+				continue
+			}
+			m[ReplicaID(fmt.Sprintf("r%d", (int(b)+j)%7))] += float64(b)
+		}
+		nodes = append(nodes, Node{ID: NodeID(fmt.Sprintf("n%03d", i)), Map: m.Normalize()})
+	}
+	return nodes
+}
+
+// TestClusterSMFIsPartition verifies, over arbitrary inputs, that SMF always
+// produces an exact partition: every node in exactly one cluster, every
+// cluster non-empty with its center among its members, no duplicated
+// centers — with and without the second pass.
+func TestClusterSMFIsPartition(t *testing.T) {
+	check := func(raw [][5]byte, tByte uint8, secondPass bool) bool {
+		nodes := nodesFromRaw(raw)
+		clusters, err := ClusterSMF(nodes, ClusterConfig{
+			Threshold:  float64(tByte) / 255,
+			SecondPass: secondPass,
+			Seed:       int64(tByte),
+		})
+		if err != nil {
+			return false
+		}
+		seen := map[NodeID]bool{}
+		centers := map[NodeID]bool{}
+		for _, c := range clusters {
+			if c.Size() == 0 {
+				return false
+			}
+			if centers[c.Center] {
+				return false
+			}
+			centers[c.Center] = true
+			centerIsMember := false
+			for _, m := range c.Members {
+				if seen[m] {
+					return false
+				}
+				seen[m] = true
+				if m == c.Center {
+					centerIsMember = true
+				}
+			}
+			if !centerIsMember {
+				return false
+			}
+		}
+		return len(seen) == len(nodes)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClusterSMFMembersMeetThreshold verifies the SMF assignment rule: every
+// non-center member of a multi-node first-pass cluster has cosine similarity
+// to its center of at least the threshold.
+func TestClusterSMFMembersMeetThreshold(t *testing.T) {
+	check := func(raw [][5]byte, tByte uint8) bool {
+		nodes := nodesFromRaw(raw)
+		threshold := float64(tByte)/255*0.9 + 0.05
+		clusters, err := ClusterSMF(nodes, ClusterConfig{Threshold: threshold})
+		if err != nil {
+			return false
+		}
+		maps := map[NodeID]RatioMap{}
+		for _, n := range nodes {
+			maps[n.ID] = n.Map
+		}
+		for _, c := range clusters {
+			for _, m := range c.Members {
+				if m == c.Center {
+					continue
+				}
+				if CosineSimilarity(maps[m], maps[c.Center]) < threshold {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrackerRatioMapSumsToOne is the tracker's core invariant over
+// arbitrary probe sequences.
+func TestTrackerRatioMapSumsToOne(t *testing.T) {
+	check := func(raw [][3]byte, window uint8) bool {
+		tr := NewTracker(WithWindow(int(window % 16)))
+		any := false
+		for i, row := range raw {
+			var replicas []ReplicaID
+			for _, b := range row {
+				if b != 0 {
+					replicas = append(replicas, ReplicaID(fmt.Sprintf("r%d", b%9)))
+				}
+			}
+			if len(replicas) == 0 {
+				continue
+			}
+			any = true
+			tr.Observe(t0.Add(timeMinutes(i)), replicas...)
+		}
+		m := tr.RatioMap()
+		if !any {
+			return len(m) == 0
+		}
+		return almostEqual(m.Sum(), 1, 1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+package crp
+
+import (
+	"sort"
+	"sync"
+)
+
+// The paper's §VI observes that CDN names should not be hand-picked: a
+// deployed CRP client should score each candidate CDN-accelerated name by
+// the quality of the position information its redirections carry, and keep
+// only the useful ones. Two signals are proposed: (a) ping the returned
+// replica servers during bootstrap and keep names that resolve to
+// low-latency servers, and (b) with no probing at all, drop names whose
+// answers are dominated by the CDN's distant default servers (for Akamai,
+// replicas with addresses in the CDN's own domain). NameSelector implements
+// both.
+
+// NameQuality summarizes how useful one CDN name's redirections are for
+// relative positioning.
+type NameQuality struct {
+	Name string
+	// Lookups is how many resolutions of the name were recorded.
+	Lookups int
+	// DistinctReplicas is how many different replica servers appeared.
+	// A name pinned to one server carries no positioning signal.
+	DistinctReplicas int
+	// FilteredFraction is the fraction of answer records the caller's
+	// filter rule flagged (e.g., CDN-owned-domain fallback servers).
+	FilteredFraction float64
+	// MedianPingMs is the median of recorded bootstrap pings to the name's
+	// replicas, or 0 when none were recorded.
+	MedianPingMs float64
+}
+
+type nameStats struct {
+	lookups  int
+	answers  int
+	filtered int
+	replicas map[ReplicaID]struct{}
+	pings    []float64
+}
+
+// NameSelector accumulates per-name observations and selects the CDN names
+// worth driving CRP with. It is safe for concurrent use.
+type NameSelector struct {
+	mu    sync.Mutex
+	stats map[string]*nameStats
+}
+
+// NewNameSelector returns an empty selector.
+func NewNameSelector() *NameSelector {
+	return &NameSelector{stats: make(map[string]*nameStats)}
+}
+
+func (s *NameSelector) statsFor(name string) *nameStats {
+	st, ok := s.stats[name]
+	if !ok {
+		st = &nameStats{replicas: make(map[ReplicaID]struct{})}
+		s.stats[name] = st
+	}
+	return st
+}
+
+// RecordLookup records one resolution of name. flagged marks, per answer
+// record, whether the caller's filter rule matched it (pass nil when no
+// rule applies); flagged may be shorter than replicas.
+func (s *NameSelector) RecordLookup(name string, replicas []ReplicaID, flagged []bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.statsFor(name)
+	st.lookups++
+	for i, r := range replicas {
+		st.answers++
+		st.replicas[r] = struct{}{}
+		if i < len(flagged) && flagged[i] {
+			st.filtered++
+		}
+	}
+}
+
+// RecordPing records a bootstrap ping to one of name's replica servers.
+func (s *NameSelector) RecordPing(name string, rttMs float64) {
+	if rttMs < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.statsFor(name)
+	st.pings = append(st.pings, rttMs)
+}
+
+// Qualities returns per-name summaries, sorted by name.
+func (s *NameSelector) Qualities() []NameQuality {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]NameQuality, 0, len(s.stats))
+	for name, st := range s.stats {
+		q := NameQuality{
+			Name:             name,
+			Lookups:          st.lookups,
+			DistinctReplicas: len(st.replicas),
+		}
+		if st.answers > 0 {
+			q.FilteredFraction = float64(st.filtered) / float64(st.answers)
+		}
+		if len(st.pings) > 0 {
+			pings := append([]float64(nil), st.pings...)
+			sort.Float64s(pings)
+			q.MedianPingMs = pings[len(pings)/2]
+		}
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SelectCriteria bounds which names Select keeps.
+type SelectCriteria struct {
+	// MaxFilteredFraction rejects names whose answers are dominated by
+	// filtered (non-positioning) servers. Defaults to 0.5.
+	MaxFilteredFraction float64
+	// MaxMedianPingMs rejects names whose bootstrap pings show only distant
+	// replicas; 0 disables the ping criterion (no-probing mode).
+	MaxMedianPingMs float64
+	// MinDistinctReplicas rejects names pinned to too few servers to carry
+	// signal. Defaults to 2.
+	MinDistinctReplicas int
+}
+
+// Select returns the names passing the criteria, sorted by name.
+func (s *NameSelector) Select(c SelectCriteria) []string {
+	if c.MaxFilteredFraction == 0 {
+		c.MaxFilteredFraction = 0.5
+	}
+	if c.MinDistinctReplicas == 0 {
+		c.MinDistinctReplicas = 2
+	}
+	var out []string
+	for _, q := range s.Qualities() {
+		if q.Lookups == 0 {
+			continue
+		}
+		if q.FilteredFraction > c.MaxFilteredFraction {
+			continue
+		}
+		if q.DistinctReplicas < c.MinDistinctReplicas {
+			continue
+		}
+		if c.MaxMedianPingMs > 0 && q.MedianPingMs > 0 && q.MedianPingMs > c.MaxMedianPingMs {
+			continue
+		}
+		out = append(out, q.Name)
+	}
+	return out
+}

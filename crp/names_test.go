@@ -1,0 +1,123 @@
+package crp
+
+import (
+	"sync"
+	"testing"
+)
+
+func seedSelector() *NameSelector {
+	s := NewNameSelector()
+	// A good name: diverse nearby replicas, nothing filtered.
+	for i := 0; i < 10; i++ {
+		s.RecordLookup("good.cdn.", []ReplicaID{
+			ReplicaID("r" + string(rune('a'+i%4))),
+			ReplicaID("r" + string(rune('a'+(i+1)%4))),
+		}, nil)
+		s.RecordPing("good.cdn.", 12+float64(i))
+	}
+	// A bad name: answers dominated by filtered fallback servers.
+	for i := 0; i < 10; i++ {
+		s.RecordLookup("owned.cdn.", []ReplicaID{"core1", "core2"}, []bool{true, true})
+		s.RecordPing("owned.cdn.", 180+float64(i))
+	}
+	// A pinned name: always the same single replica.
+	for i := 0; i < 10; i++ {
+		s.RecordLookup("pinned.cdn.", []ReplicaID{"only"}, nil)
+	}
+	return s
+}
+
+func TestNameSelectorQualities(t *testing.T) {
+	s := seedSelector()
+	qs := s.Qualities()
+	if len(qs) != 3 {
+		t.Fatalf("qualities for %d names, want 3", len(qs))
+	}
+	byName := map[string]NameQuality{}
+	for _, q := range qs {
+		byName[q.Name] = q
+	}
+	good := byName["good.cdn."]
+	if good.Lookups != 10 || good.DistinctReplicas != 4 {
+		t.Errorf("good stats: %+v", good)
+	}
+	if good.FilteredFraction != 0 {
+		t.Errorf("good FilteredFraction = %v", good.FilteredFraction)
+	}
+	if good.MedianPingMs < 12 || good.MedianPingMs > 22 {
+		t.Errorf("good MedianPingMs = %v", good.MedianPingMs)
+	}
+	owned := byName["owned.cdn."]
+	if owned.FilteredFraction != 1 {
+		t.Errorf("owned FilteredFraction = %v, want 1", owned.FilteredFraction)
+	}
+	if byName["pinned.cdn."].DistinctReplicas != 1 {
+		t.Errorf("pinned DistinctReplicas = %d", byName["pinned.cdn."].DistinctReplicas)
+	}
+}
+
+func TestNameSelectorFilterRule(t *testing.T) {
+	// No-probing mode: only the filtered-fraction rule applies.
+	s := seedSelector()
+	got := s.Select(SelectCriteria{})
+	if len(got) != 1 || got[0] != "good.cdn." {
+		t.Errorf("Select = %v, want only good.cdn.", got)
+	}
+}
+
+func TestNameSelectorPingRule(t *testing.T) {
+	s := NewNameSelector()
+	for i := 0; i < 5; i++ {
+		s.RecordLookup("near.cdn.", []ReplicaID{"a", "b"}, nil)
+		s.RecordPing("near.cdn.", 15)
+		s.RecordLookup("far.cdn.", []ReplicaID{"x", "y"}, nil)
+		s.RecordPing("far.cdn.", 250)
+	}
+	got := s.Select(SelectCriteria{MaxMedianPingMs: 100})
+	if len(got) != 1 || got[0] != "near.cdn." {
+		t.Errorf("Select with ping rule = %v, want only near.cdn.", got)
+	}
+	// Without the ping criterion both pass.
+	if got := s.Select(SelectCriteria{}); len(got) != 2 {
+		t.Errorf("Select without ping rule = %v, want both", got)
+	}
+}
+
+func TestNameSelectorNegativePingIgnored(t *testing.T) {
+	s := NewNameSelector()
+	s.RecordLookup("n.", []ReplicaID{"a", "b"}, nil)
+	s.RecordPing("n.", -5)
+	if q := s.Qualities()[0]; q.MedianPingMs != 0 {
+		t.Errorf("negative ping recorded: %+v", q)
+	}
+}
+
+func TestNameSelectorEmpty(t *testing.T) {
+	s := NewNameSelector()
+	if got := s.Select(SelectCriteria{}); got != nil {
+		t.Errorf("Select on empty selector = %v", got)
+	}
+	if got := s.Qualities(); len(got) != 0 {
+		t.Errorf("Qualities on empty selector = %v", got)
+	}
+}
+
+func TestNameSelectorConcurrent(t *testing.T) {
+	s := NewNameSelector()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.RecordLookup("n.", []ReplicaID{"a"}, nil)
+				s.RecordPing("n.", float64(i))
+				_ = s.Qualities()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if q := s.Qualities()[0]; q.Lookups != 800 {
+		t.Errorf("Lookups = %d, want 800", q.Lookups)
+	}
+}

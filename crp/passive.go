@@ -1,0 +1,97 @@
+package crp
+
+import (
+	"errors"
+	"strings"
+	"time"
+)
+
+// Passive collection, §VI: "even this minor overhead may not be necessary
+// if the service can passively monitor user-generated DNS translations
+// (e.g., from Web browsing) instead of actively requesting CDN
+// redirections." PassiveMonitor is that tap: it is fed every DNS answer a
+// node observes (from a stub resolver hook, a packet capture, or a
+// simulator), keeps only the watched CDN-accelerated names, applies the
+// non-positioning-answer filter, records per-name quality for adaptive
+// name selection, and feeds the surviving redirections into a Service.
+type PassiveMonitor struct {
+	svc      *Service
+	node     NodeID
+	names    map[string]bool // lowercased; empty = watch every name
+	filter   func(ReplicaID) bool
+	selector *NameSelector
+}
+
+// PassiveConfig parameterizes a PassiveMonitor.
+type PassiveConfig struct {
+	// Names restricts collection to these CDN-accelerated names
+	// (case-insensitive). Empty watches everything — useful together with
+	// Selector to learn which names are worth watching.
+	Names []string
+	// Filter, when set, flags answers that carry no positioning information
+	// (the paper's example: replicas in the CDN's own domain). Flagged
+	// answers are excluded from ratio maps but still counted in Selector
+	// statistics.
+	Filter func(ReplicaID) bool
+	// Selector, when set, accumulates per-name quality statistics from the
+	// observed traffic.
+	Selector *NameSelector
+}
+
+// NewPassiveMonitor builds a monitor feeding observations for node into svc.
+func NewPassiveMonitor(svc *Service, node NodeID, cfg PassiveConfig) (*PassiveMonitor, error) {
+	if svc == nil {
+		return nil, errors.New("crp: nil Service")
+	}
+	if node == "" {
+		return nil, errors.New("crp: empty node ID")
+	}
+	m := &PassiveMonitor{
+		svc:      svc,
+		node:     node,
+		names:    make(map[string]bool, len(cfg.Names)),
+		filter:   cfg.Filter,
+		selector: cfg.Selector,
+	}
+	for _, n := range cfg.Names {
+		m.names[strings.ToLower(n)] = true
+	}
+	return m, nil
+}
+
+// ObserveDNS feeds one observed DNS translation: the queried name and the
+// replica servers it resolved to at time at. It returns true when the
+// observation was recorded into the node's ratio map (the name is watched
+// and at least one answer survived the filter).
+func (m *PassiveMonitor) ObserveDNS(at time.Time, qname string, answers ...ReplicaID) (bool, error) {
+	if len(m.names) > 0 && !m.names[strings.ToLower(qname)] {
+		return false, nil
+	}
+	kept := make([]ReplicaID, 0, len(answers))
+	var flagged []bool
+	if m.selector != nil {
+		flagged = make([]bool, len(answers))
+	}
+	for i, r := range answers {
+		drop := m.filter != nil && m.filter(r)
+		if flagged != nil {
+			flagged[i] = drop
+		}
+		if !drop {
+			kept = append(kept, r)
+		}
+	}
+	if m.selector != nil {
+		m.selector.RecordLookup(qname, answers, flagged)
+	}
+	if len(kept) == 0 {
+		return false, nil
+	}
+	if err := m.svc.Observe(m.node, at, kept...); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Node returns the node identity this monitor feeds.
+func (m *PassiveMonitor) Node() NodeID { return m.node }

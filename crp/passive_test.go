@@ -1,0 +1,127 @@
+package crp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewPassiveMonitorValidation(t *testing.T) {
+	if _, err := NewPassiveMonitor(nil, "n", PassiveConfig{}); err == nil {
+		t.Error("nil service should fail")
+	}
+	if _, err := NewPassiveMonitor(NewService(), "", PassiveConfig{}); err == nil {
+		t.Error("empty node should fail")
+	}
+}
+
+func TestPassiveMonitorWatchedNamesOnly(t *testing.T) {
+	svc := NewService()
+	m, err := NewPassiveMonitor(svc, "client", PassiveConfig{
+		Names: []string{"img.cdn.example."},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unwatched traffic is ignored.
+	recorded, err := m.ObserveDNS(t0, "www.unrelated.example.", "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded {
+		t.Error("unwatched name recorded")
+	}
+	// Watched traffic lands, case-insensitively.
+	recorded, err = m.ObserveDNS(t0, "IMG.cdn.Example.", "r1", "r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recorded {
+		t.Error("watched name not recorded")
+	}
+	rm, err := svc.RatioMap("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rm) != 2 {
+		t.Errorf("ratio map = %v, want two replicas", rm)
+	}
+}
+
+func TestPassiveMonitorWatchAllWhenNoNames(t *testing.T) {
+	svc := NewService()
+	m, err := NewPassiveMonitor(svc, "client", PassiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded, err := m.ObserveDNS(t0, "anything.example.", "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recorded {
+		t.Error("watch-all monitor ignored traffic")
+	}
+}
+
+func TestPassiveMonitorFilterAndSelector(t *testing.T) {
+	svc := NewService()
+	selector := NewNameSelector()
+	m, err := NewPassiveMonitor(svc, "client", PassiveConfig{
+		Filter:   func(r ReplicaID) bool { return strings.HasPrefix(string(r), "owned-") },
+		Selector: selector,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A mixed answer: the owned replica is filtered, the real one recorded.
+	recorded, err := m.ObserveDNS(t0, "a.cdn.", "owned-1", "real-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recorded {
+		t.Error("mixed answer should still be recorded")
+	}
+	rm, err := svc.RatioMap("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, leaked := rm["owned-1"]; leaked {
+		t.Error("filtered replica reached the ratio map")
+	}
+
+	// An all-owned answer records nothing in the map...
+	recorded, err = m.ObserveDNS(t0.Add(time.Minute), "b.cdn.", "owned-2", "owned-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded {
+		t.Error("fully filtered answer reported as recorded")
+	}
+
+	// ...but the selector saw everything and can reject the bad name.
+	quals := selector.Qualities()
+	if len(quals) != 2 {
+		t.Fatalf("selector names = %d, want 2", len(quals))
+	}
+	byName := map[string]NameQuality{}
+	for _, q := range quals {
+		byName[q.Name] = q
+	}
+	if byName["b.cdn."].FilteredFraction != 1 {
+		t.Errorf("b.cdn. filtered fraction = %v, want 1", byName["b.cdn."].FilteredFraction)
+	}
+	if byName["a.cdn."].FilteredFraction != 0.5 {
+		t.Errorf("a.cdn. filtered fraction = %v, want 0.5", byName["a.cdn."].FilteredFraction)
+	}
+}
+
+func TestPassiveMonitorNode(t *testing.T) {
+	m, err := NewPassiveMonitor(NewService(), "n1", PassiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Node() != "n1" {
+		t.Errorf("Node = %q", m.Node())
+	}
+}

@@ -1,0 +1,120 @@
+package crp
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTrackerProbesCopy(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(t0, "r1", "r2")
+	tr.Observe(t0.Add(time.Minute), "r3")
+	probes := tr.Probes()
+	if len(probes) != 2 {
+		t.Fatalf("Probes = %d, want 2", len(probes))
+	}
+	if !probes[0].At.Equal(t0) || len(probes[0].Replicas) != 2 {
+		t.Errorf("probe 0 = %+v", probes[0])
+	}
+	probes[0].Replicas[0] = "tampered"
+	if tr.Probes()[0].Replicas[0] == "tampered" {
+		t.Error("Probes exposes internal storage")
+	}
+}
+
+func TestServiceSnapshotRoundTrip(t *testing.T) {
+	src := populateService(t)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+
+	dst := NewService(WithWindow(10))
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+
+	if !reflect.DeepEqual(src.Nodes(), dst.Nodes()) {
+		t.Fatalf("node sets differ: %v vs %v", src.Nodes(), dst.Nodes())
+	}
+	for _, id := range src.Nodes() {
+		a, err := src.RatioMap(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dst.RatioMap(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("node %q maps differ:\n%v\n%v", id, a, b)
+		}
+	}
+}
+
+func TestServiceSnapshotReappliesWindow(t *testing.T) {
+	// A snapshot from an unbounded service restored into a windowed one is
+	// re-trimmed by the window.
+	src := NewService()
+	for i := 0; i < 50; i++ {
+		if err := src.Observe("n", t0.Add(time.Duration(i)*time.Minute), "r"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewService(WithWindow(5))
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst.mu.RLock()
+	tr := dst.trackers["n"]
+	dst.mu.RUnlock()
+	if got := tr.Len(); got != 5 {
+		t.Errorf("restored tracker holds %d probes, want window of 5", got)
+	}
+}
+
+func TestServiceSnapshotMerges(t *testing.T) {
+	a := NewService()
+	if err := a.Observe("n", t0, "r1"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := NewService()
+	if err := b.Observe("n", t0.Add(time.Minute), "r2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.RatioMap("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Errorf("merged map = %v, want both replicas", m)
+	}
+}
+
+func TestLoadSnapshotErrors(t *testing.T) {
+	s := NewService()
+	if err := s.LoadSnapshot(strings.NewReader("{oops")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if err := s.LoadSnapshot(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("unknown version accepted")
+	}
+	if err := s.LoadSnapshot(strings.NewReader(
+		`{"version":1,"nodes":[{"node":"","probes":[]}]}`)); err == nil {
+		t.Error("empty node ID accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package crp
+
+import (
+	"math"
+	"testing"
+)
+
+// gridDistance places nodes on a line by their numeric suffix so distances
+// are easy to reason about: dist(nX, nY) = |X - Y|.
+func gridDistance(a, b NodeID) float64 {
+	pos := func(id NodeID) float64 {
+		var x float64
+		for _, c := range id[1:] {
+			x = x*10 + float64(c-'0')
+		}
+		return x
+	}
+	return math.Abs(pos(a) - pos(b))
+}
+
+func TestEvaluateClusters(t *testing.T) {
+	clusters := []Cluster{
+		{Center: "n10", Members: []NodeID{"n10", "n12", "n14"}}, // tight
+		{Center: "n50", Members: []NodeID{"n50", "n90"}},        // loose
+		{Center: "n99", Members: []NodeID{"n99"}},               // singleton
+	}
+	stats, err := EvaluateClusters(clusters, gridDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d clusters, want 2 (singletons skipped)", len(stats))
+	}
+
+	tight := stats[0]
+	if tight.Cluster.Center != "n10" {
+		t.Fatalf("unexpected order: %v", stats)
+	}
+	if !almostEqual(tight.Intra, 3, 1e-12) { // (2 + 4) / 2
+		t.Errorf("tight intra = %v, want 3", tight.Intra)
+	}
+	if !almostEqual(tight.Diameter, 4, 1e-12) { // n10..n14
+		t.Errorf("tight diameter = %v, want 4", tight.Diameter)
+	}
+	if !almostEqual(tight.Inter, (40.0+89.0)/2, 1e-12) { // to n50 and n99
+		t.Errorf("tight inter = %v, want 64.5", tight.Inter)
+	}
+	if !tight.Good() {
+		t.Error("tight cluster should be good (inter >> intra)")
+	}
+
+	loose := stats[1]
+	if !almostEqual(loose.Intra, 40, 1e-12) {
+		t.Errorf("loose intra = %v, want 40", loose.Intra)
+	}
+	if !loose.Good() { // inter = (40 + 49)/2 = 44.5 > 40
+		t.Error("loose cluster inter=44.5 > intra=40, should be good")
+	}
+}
+
+func TestEvaluateClustersNilDistance(t *testing.T) {
+	if _, err := EvaluateClusters(nil, nil); err == nil {
+		t.Error("nil DistanceFunc should fail")
+	}
+}
+
+func TestEvaluateClustersSingleCluster(t *testing.T) {
+	stats, err := EvaluateClusters([]Cluster{
+		{Center: "n1", Members: []NodeID{"n1", "n2"}},
+	}, gridDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+	if stats[0].Inter != 0 {
+		t.Errorf("lone cluster inter = %v, want 0 (no other centers)", stats[0].Inter)
+	}
+	if stats[0].Good() {
+		t.Error("a lone cluster cannot be good (inter 0)")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	clusters := []Cluster{
+		{Center: "a", Members: []NodeID{"a", "b", "c", "d"}},
+		{Center: "e", Members: []NodeID{"e", "f", "g"}},
+		{Center: "h", Members: []NodeID{"h", "i"}},
+		{Center: "z1", Members: []NodeID{"z1"}},
+		{Center: "z2", Members: []NodeID{"z2"}},
+	}
+	s := Summarize(clusters, 11)
+	if s.NodesClustered != 9 {
+		t.Errorf("NodesClustered = %d, want 9", s.NodesClustered)
+	}
+	if !almostEqual(s.FracClustered, 9.0/11, 1e-12) {
+		t.Errorf("FracClustered = %v", s.FracClustered)
+	}
+	if s.NumClusters != 3 {
+		t.Errorf("NumClusters = %d, want 3 (singletons excluded)", s.NumClusters)
+	}
+	if !almostEqual(s.MeanSize, 3, 1e-12) {
+		t.Errorf("MeanSize = %v, want 3", s.MeanSize)
+	}
+	if !almostEqual(s.MedianSize, 3, 1e-12) {
+		t.Errorf("MedianSize = %v, want 3", s.MedianSize)
+	}
+	if s.MaxSize != 4 {
+		t.Errorf("MaxSize = %d, want 4", s.MaxSize)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	clusters := []Cluster{
+		{Center: "a", Members: []NodeID{"a", "b"}},
+		{Center: "c", Members: []NodeID{"c", "d", "e", "f", "g"}},
+	}
+	s := Summarize(clusters, 7)
+	if !almostEqual(s.MedianSize, 3.5, 1e-12) {
+		t.Errorf("MedianSize = %v, want 3.5", s.MedianSize)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 0)
+	if s.NodesClustered != 0 || s.NumClusters != 0 || s.FracClustered != 0 {
+		t.Errorf("empty Summarize = %+v", s)
+	}
+}
+
+func TestGoodClusterCounts(t *testing.T) {
+	stats := []ClusterStats{
+		{Diameter: 10, Intra: 5, Inter: 50},   // good, bucket 0-25
+		{Diameter: 24, Intra: 5, Inter: 50},   // good, bucket 0-25
+		{Diameter: 40, Intra: 5, Inter: 50},   // good, bucket 25-75
+		{Diameter: 25, Intra: 5, Inter: 50},   // good, boundary → first bucket
+		{Diameter: 80, Intra: 5, Inter: 50},   // beyond last bound: dropped
+		{Diameter: 10, Intra: 50, Inter: 5},   // not good: dropped
+		{Diameter: 74.9, Intra: 5, Inter: 50}, // good, bucket 25-75
+	}
+	counts := GoodClusterCounts(stats, []float64{25, 75})
+	if counts[0] != 3 {
+		t.Errorf("bucket 0-25 = %d, want 3", counts[0])
+	}
+	if counts[1] != 2 {
+		t.Errorf("bucket 25-75 = %d, want 2", counts[1])
+	}
+}
+
+func TestGoodClusterCountsEmpty(t *testing.T) {
+	counts := GoodClusterCounts(nil, []float64{25, 75})
+	if counts[0] != 0 || counts[1] != 0 {
+		t.Errorf("counts = %v", counts)
+	}
+}

@@ -1,0 +1,64 @@
+package crp
+
+import "sort"
+
+// NodeID identifies a participating node (a client, server or peer) in a
+// CRP deployment.
+type NodeID string
+
+// Scored is a candidate node with its cosine similarity to a reference node.
+type Scored struct {
+	Node       NodeID
+	Similarity float64
+}
+
+// RankBySimilarity orders the candidate nodes by decreasing cosine
+// similarity to the client's ratio map (§IV-A: the candidate most similar to
+// the client is its likely-closest node). Ties break on NodeID so rankings
+// are deterministic.
+//
+// Candidates with zero similarity are still ranked (last): the paper's
+// semantics is that CRP cannot position them relative to the client, only
+// report that they are unlikely to be near it. Callers that need to
+// distinguish "closest" from "unknown" should inspect Similarity.
+func RankBySimilarity(client RatioMap, candidates map[NodeID]RatioMap) []Scored {
+	out := make([]Scored, 0, len(candidates))
+	for id, m := range candidates {
+		out = append(out, Scored{Node: id, Similarity: CosineSimilarity(client, m)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Similarity != out[j].Similarity {
+			return out[i].Similarity > out[j].Similarity
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// TopK returns the k candidates most similar to the client (all of them if
+// k exceeds the candidate count; none if k <= 0).
+func TopK(client RatioMap, candidates map[NodeID]RatioMap, k int) []Scored {
+	if k <= 0 {
+		return nil
+	}
+	ranked := RankBySimilarity(client, candidates)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}
+
+// SelectClosest returns the candidate with the highest cosine similarity to
+// the client. ok is false when there are no candidates or when every
+// candidate has zero similarity — the case where CRP has no positioning
+// information for this client at all.
+func SelectClosest(client RatioMap, candidates map[NodeID]RatioMap) (best Scored, ok bool) {
+	ranked := RankBySimilarity(client, candidates)
+	if len(ranked) == 0 || ranked[0].Similarity == 0 {
+		if len(ranked) > 0 {
+			return ranked[0], false
+		}
+		return Scored{}, false
+	}
+	return ranked[0], true
+}

@@ -1,0 +1,214 @@
+package crp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Service is the stand-alone CRP positioning service sketched in the paper's
+// §III-B: it maintains redirection trackers for many nodes and answers the
+// location queries of §IV — closest-node selection and the three clustering
+// queries (peers in my cluster; a full cluster assignment; n nodes in
+// distinct clusters for failure independence). Service is safe for
+// concurrent use and runs no background goroutines.
+type Service struct {
+	mu       sync.RWMutex
+	trackers map[NodeID]*Tracker
+	opts     []TrackerOption
+}
+
+// ErrUnknownNode is returned for queries about nodes the service has no
+// observations for.
+var ErrUnknownNode = errors.New("crp: unknown node")
+
+// NewService returns an empty service. The tracker options are applied to
+// every node's tracker (e.g., WithWindow(10) to adopt the paper's
+// recommended 10-probe window).
+func NewService(opts ...TrackerOption) *Service {
+	return &Service{
+		trackers: make(map[NodeID]*Tracker),
+		opts:     opts,
+	}
+}
+
+// Observe records a redirection probe for node: the replica servers one CDN
+// lookup returned at time at. Unknown nodes are added automatically.
+func (s *Service) Observe(node NodeID, at time.Time, replicas ...ReplicaID) error {
+	if node == "" {
+		return errors.New("crp: empty node ID")
+	}
+	s.mu.Lock()
+	tr, ok := s.trackers[node]
+	if !ok {
+		tr = NewTracker(s.opts...)
+		s.trackers[node] = tr
+	}
+	s.mu.Unlock()
+	tr.Observe(at, replicas...)
+	return nil
+}
+
+// Forget removes a node and its history.
+func (s *Service) Forget(node NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.trackers, node)
+}
+
+// Nodes returns the known node IDs in sorted order.
+func (s *Service) Nodes() []NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]NodeID, 0, len(s.trackers))
+	for id := range s.trackers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RatioMap returns the node's current ratio map.
+func (s *Service) RatioMap(node NodeID) (RatioMap, error) {
+	s.mu.RLock()
+	tr, ok := s.trackers[node]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, node)
+	}
+	return tr.RatioMap(), nil
+}
+
+// Similarity returns the cosine similarity between two nodes' current ratio
+// maps.
+func (s *Service) Similarity(a, b NodeID) (float64, error) {
+	ma, err := s.RatioMap(a)
+	if err != nil {
+		return 0, err
+	}
+	mb, err := s.RatioMap(b)
+	if err != nil {
+		return 0, err
+	}
+	return CosineSimilarity(ma, mb), nil
+}
+
+// maps snapshots the ratio maps of the given nodes (or all nodes if nil).
+func (s *Service) maps(nodes []NodeID) (map[NodeID]RatioMap, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[NodeID]RatioMap)
+	if nodes == nil {
+		for id, tr := range s.trackers {
+			out[id] = tr.RatioMap()
+		}
+		return out, nil
+	}
+	for _, id := range nodes {
+		tr, ok := s.trackers[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownNode, id)
+		}
+		out[id] = tr.RatioMap()
+	}
+	return out, nil
+}
+
+// ClosestTo ranks the candidate nodes by similarity to client and returns
+// the best, with ok=false when CRP has no signal for any candidate.
+func (s *Service) ClosestTo(client NodeID, candidates []NodeID) (Scored, bool, error) {
+	cm, err := s.RatioMap(client)
+	if err != nil {
+		return Scored{}, false, err
+	}
+	maps, err := s.maps(candidates)
+	if err != nil {
+		return Scored{}, false, err
+	}
+	delete(maps, client)
+	best, ok := SelectClosest(cm, maps)
+	return best, ok, nil
+}
+
+// TopK returns the k candidates most similar to client.
+func (s *Service) TopK(client NodeID, candidates []NodeID, k int) ([]Scored, error) {
+	cm, err := s.RatioMap(client)
+	if err != nil {
+		return nil, err
+	}
+	maps, err := s.maps(candidates)
+	if err != nil {
+		return nil, err
+	}
+	delete(maps, client)
+	return TopK(cm, maps, k), nil
+}
+
+// ClusterAll clusters every known node with SMF at the given threshold
+// (§IV-B query 2: "given a set of nodes, map each node to a cluster").
+func (s *Service) ClusterAll(cfg ClusterConfig) ([]Cluster, error) {
+	maps, err := s.maps(nil)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]Node, 0, len(maps))
+	for id, m := range maps {
+		nodes = append(nodes, Node{ID: id, Map: m})
+	}
+	return ClusterSMF(nodes, cfg)
+}
+
+// SameCluster returns the other members of node's cluster under SMF at the
+// given config (§IV-B query 1: "given a node identifier, find the other
+// nodes that belong to the same cluster" — e.g., BitTorrent peers on low-RTT
+// paths).
+func (s *Service) SameCluster(node NodeID, cfg ClusterConfig) ([]NodeID, error) {
+	s.mu.RLock()
+	_, known := s.trackers[node]
+	s.mu.RUnlock()
+	if !known {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, node)
+	}
+	clusters, err := s.ClusterAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range clusters {
+		for _, m := range c.Members {
+			if m == node {
+				others := make([]NodeID, 0, len(c.Members)-1)
+				for _, o := range c.Members {
+					if o != node {
+						others = append(others, o)
+					}
+				}
+				return others, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// DistinctClusters returns up to n nodes drawn from different clusters
+// (§IV-B query 3: peers whose network faults are uncorrelated with high
+// probability). Larger clusters contribute first, and each cluster's center
+// represents it.
+func (s *Service) DistinctClusters(n int, cfg ClusterConfig) ([]NodeID, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	clusters, err := s.ClusterAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NodeID, 0, n)
+	for _, c := range clusters {
+		out = append(out, c.Center)
+		if len(out) == n {
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package crp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// populateService fills a service with three metro-like groups of nodes.
+func populateService(t *testing.T) *Service {
+	t.Helper()
+	s := NewService(WithWindow(10))
+	at := t0
+	groups := map[string][]ReplicaID{
+		"west": {"rw1", "rw2"},
+		"east": {"re1", "re2"},
+		"asia": {"ra1"},
+	}
+	for g, replicas := range groups {
+		for n := 0; n < 3; n++ {
+			node := NodeID(fmt.Sprintf("%s-%d", g, n))
+			for i := 0; i < 10; i++ {
+				// Rotate through the group's replicas with a node-specific bias.
+				r := replicas[(i+n)%len(replicas)]
+				if err := s.Observe(node, at.Add(time.Duration(i)*time.Minute), r); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func TestServiceObserveValidation(t *testing.T) {
+	s := NewService()
+	if err := s.Observe("", t0, "r"); err == nil {
+		t.Error("Observe with empty node should fail")
+	}
+}
+
+func TestServiceRatioMapAndSimilarity(t *testing.T) {
+	s := populateService(t)
+	m, err := s.RatioMap("west-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(m.Sum(), 1, 1e-9) {
+		t.Errorf("ratio sum = %v", m.Sum())
+	}
+	same, err := s.Similarity("west-0", "west-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := s.Similarity("west-0", "east-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same <= cross {
+		t.Errorf("same-group similarity %v not above cross-group %v", same, cross)
+	}
+	if _, err := s.Similarity("west-0", "nope"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("Similarity with unknown node: %v", err)
+	}
+}
+
+func TestServiceClosestTo(t *testing.T) {
+	s := populateService(t)
+	best, ok, err := s.ClosestTo("west-0", []NodeID{"west-1", "east-0", "asia-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || best.Node != "west-1" {
+		t.Errorf("ClosestTo = %+v, ok=%v; want west-1", best, ok)
+	}
+	// Client excluded from its own candidate list.
+	best, _, err = s.ClosestTo("west-0", []NodeID{"west-0", "west-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Node == "west-0" {
+		t.Error("ClosestTo returned the client itself")
+	}
+	if _, _, err := s.ClosestTo("ghost", []NodeID{"west-1"}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown client: %v", err)
+	}
+	if _, _, err := s.ClosestTo("west-0", []NodeID{"ghost"}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown candidate: %v", err)
+	}
+}
+
+func TestServiceClosestToNoSignal(t *testing.T) {
+	s := populateService(t)
+	// asia nodes share no replicas with west nodes.
+	_, ok, err := s.ClosestTo("asia-0", []NodeID{"west-0", "west-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("ClosestTo should report no signal across disjoint replica sets")
+	}
+}
+
+func TestServiceTopK(t *testing.T) {
+	s := populateService(t)
+	got, err := s.TopK("west-0", []NodeID{"west-1", "west-2", "east-0"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("TopK returned %d", len(got))
+	}
+	if got[0].Node != "west-1" && got[0].Node != "west-2" {
+		t.Errorf("TopK[0] = %v, want a west node", got[0])
+	}
+}
+
+func TestServiceClusterAllAndSameCluster(t *testing.T) {
+	s := populateService(t)
+	clusters, err := s.ClusterAll(ClusterConfig{Threshold: DefaultThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(clusters, len(s.Nodes()))
+	if sum.NumClusters < 3 {
+		t.Errorf("found %d multi-node clusters, want ≥ 3 (one per group)", sum.NumClusters)
+	}
+
+	peers, err := s.SameCluster("west-0", ClusterConfig{Threshold: DefaultThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[NodeID]bool{"west-1": true, "west-2": true}
+	if len(peers) != 2 || !want[peers[0]] || !want[peers[1]] {
+		t.Errorf("SameCluster(west-0) = %v, want the other west nodes", peers)
+	}
+	if _, err := s.SameCluster("ghost", ClusterConfig{Threshold: 0.1}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("SameCluster unknown node: %v", err)
+	}
+}
+
+func TestServiceDistinctClusters(t *testing.T) {
+	s := populateService(t)
+	got, err := s.DistinctClusters(3, ClusterConfig{Threshold: DefaultThreshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("DistinctClusters = %v", got)
+	}
+	// The three picks must come from three different groups.
+	groups := map[byte]bool{}
+	for _, id := range got {
+		groups[id[0]] = true
+	}
+	if len(groups) != 3 {
+		t.Errorf("DistinctClusters picks %v not from distinct groups", got)
+	}
+	if got, err := s.DistinctClusters(0, ClusterConfig{}); err != nil || got != nil {
+		t.Errorf("DistinctClusters(0) = %v, %v", got, err)
+	}
+}
+
+func TestServiceNodesAndForget(t *testing.T) {
+	s := populateService(t)
+	if n := len(s.Nodes()); n != 9 {
+		t.Fatalf("Nodes = %d, want 9", n)
+	}
+	s.Forget("west-0")
+	if n := len(s.Nodes()); n != 8 {
+		t.Errorf("after Forget, Nodes = %d, want 8", n)
+	}
+	if _, err := s.RatioMap("west-0"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("RatioMap of forgotten node: %v", err)
+	}
+}
+
+func TestServiceConcurrentUse(t *testing.T) {
+	s := NewService(WithWindow(20))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node := NodeID(fmt.Sprintf("node-%d", w%4))
+			for i := 0; i < 100; i++ {
+				_ = s.Observe(node, t0.Add(time.Duration(i)*time.Second),
+					ReplicaID(fmt.Sprintf("r%d", i%3)))
+				_, _ = s.RatioMap(node)
+				_, _ = s.ClusterAll(ClusterConfig{Threshold: 0.1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := len(s.Nodes()); n != 4 {
+		t.Errorf("Nodes = %d, want 4", n)
+	}
+}

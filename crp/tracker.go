@@ -1,0 +1,157 @@
+package crp
+
+import (
+	"sync"
+	"time"
+)
+
+// A probe is one redirection observation: a single DNS lookup of a
+// CDN-accelerated name, which may return several replica servers (Akamai
+// returns two A records).
+type probe struct {
+	at       time.Time
+	replicas []ReplicaID
+}
+
+// Tracker accumulates a node's CDN redirections and derives its ratio map.
+// The window is counted in probes, matching the paper's §VI study of "probe
+// window sizes, i.e., the number of recent redirections considered in a
+// recommendation" (Fig. 9). Tracker is safe for concurrent use.
+//
+// Each probe contributes equal total weight to the ratio map, split evenly
+// across the replicas it returned, so the ratios always sum to 1 as the
+// paper's formulation requires.
+type Tracker struct {
+	mu     sync.Mutex
+	window int           // max probes kept; 0 = unbounded ("all probes")
+	maxAge time.Duration // max probe age relative to the newest; 0 = unbounded
+	probes []probe
+}
+
+// TrackerOption customizes a Tracker.
+type TrackerOption func(*Tracker)
+
+// WithWindow bounds the tracker to the last n probes; n <= 0 keeps all
+// probes (the paper's "all probes" configuration).
+func WithWindow(n int) TrackerOption {
+	return func(t *Tracker) {
+		if n < 0 {
+			n = 0
+		}
+		t.window = n
+	}
+}
+
+// WithMaxAge drops probes older than d relative to the most recent probe,
+// bounding how much stale redirection history can influence the map. The
+// paper observes that in dynamic environments long histories hurt; a time
+// bound is the natural complement to the probe-count window.
+func WithMaxAge(d time.Duration) TrackerOption {
+	return func(t *Tracker) {
+		if d < 0 {
+			d = 0
+		}
+		t.maxAge = d
+	}
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker(opts ...TrackerOption) *Tracker {
+	t := &Tracker{}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// Observe records one probe: the replica servers a single CDN lookup
+// returned at the given time. Probes must be supplied in non-decreasing
+// time order; out-of-order probes are accepted but age-based expiry keys off
+// the newest probe seen. A probe with no replicas is ignored.
+func (t *Tracker) Observe(at time.Time, replicas ...ReplicaID) {
+	if len(replicas) == 0 {
+		return
+	}
+	cp := make([]ReplicaID, len(replicas))
+	copy(cp, replicas)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.probes = append(t.probes, probe{at: at, replicas: cp})
+	t.compactLocked()
+}
+
+// compactLocked enforces the probe-count and age windows.
+func (t *Tracker) compactLocked() {
+	if t.window > 0 && len(t.probes) > t.window {
+		drop := len(t.probes) - t.window
+		t.probes = append(t.probes[:0], t.probes[drop:]...)
+	}
+	if t.maxAge > 0 && len(t.probes) > 0 {
+		newest := t.probes[0].at
+		for _, p := range t.probes {
+			if p.at.After(newest) {
+				newest = p.at
+			}
+		}
+		cutoff := newest.Add(-t.maxAge)
+		kept := t.probes[:0]
+		for _, p := range t.probes {
+			if !p.at.Before(cutoff) {
+				kept = append(kept, p)
+			}
+		}
+		t.probes = kept
+	}
+}
+
+// Len returns the number of probes currently in the window.
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.probes)
+}
+
+// RatioMap derives the node's current redirection ratio map from the probes
+// in the window. The result is freshly allocated and sums to 1 unless the
+// tracker is empty (in which case it is empty).
+func (t *Tracker) RatioMap() RatioMap {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := make(RatioMap)
+	if len(t.probes) == 0 {
+		return m
+	}
+	perProbe := 1 / float64(len(t.probes))
+	for _, p := range t.probes {
+		w := perProbe / float64(len(p.replicas))
+		for _, r := range p.replicas {
+			m[r] += w
+		}
+	}
+	return m
+}
+
+// LastProbe returns the time of the most recent probe and whether one
+// exists.
+func (t *Tracker) LastProbe() (time.Time, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.probes) == 0 {
+		return time.Time{}, false
+	}
+	newest := t.probes[0].at
+	for _, p := range t.probes {
+		if p.at.After(newest) {
+			newest = p.at
+		}
+	}
+	return newest, true
+}
+
+// Reset discards all recorded probes.
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.probes = nil
+}

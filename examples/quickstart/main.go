@@ -1,0 +1,198 @@
+// Quickstart: the smallest end-to-end CRP pipeline.
+//
+// It boots a simulated world (topology + Akamai-like CDN), serves the CDN
+// zone over a real UDP DNS server, lets three hosts collect their
+// redirections through actual DNS queries, and then uses the public crp
+// package to compare their ratio maps, select the closest of two servers
+// for a client, and cluster the trio — the paper's §III/§IV workflow in
+// miniature.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"repro/crp"
+	"repro/internal/cdn"
+	"repro/internal/dnsserver"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. A small simulated world: hosts, ASes, latencies, and a CDN.
+	params := netsim.DefaultParams()
+	params.NumClients = 100
+	params.NumCandidates = 20
+	params.NumReplicas = 150
+	topo, err := netsim.Generate(params)
+	if err != nil {
+		return err
+	}
+	network, err := cdn.New(cdn.Config{Topo: topo})
+	if err != nil {
+		return err
+	}
+
+	// 2. The CDN zone behind a real UDP DNS server.
+	clock := netsim.NewClock()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	registry := dnsserver.NewRegistry()
+	srv, err := dnsserver.Serve(pc, &dnsserver.CDNBackend{Topo: topo, CDN: network, Clock: clock}, registry)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("CDN authoritative server on %s, TTL %v\n\n", srv.Addr(), network.TTL())
+
+	// 3. A client in the CDN's best-covered region, and two candidate
+	// servers: the truly nearest and the truly farthest. CRP should tell
+	// them apart without the client ever probing either.
+	client := topo.Clients()[0]
+	for _, c := range topo.Clients() {
+		if topo.Host(c).Region == "north-america" {
+			client = c
+			break
+		}
+	}
+	near, far := topo.Candidates()[0], topo.Candidates()[0]
+	for _, c := range topo.Candidates() {
+		if topo.BaseRTTMs(client, c) < topo.BaseRTTMs(client, near) {
+			near = c
+		}
+		if topo.BaseRTTMs(client, c) > topo.BaseRTTMs(client, far) {
+			far = c
+		}
+	}
+
+	// 4. Everyone watches their CDN redirections — via real DNS queries —
+	// for 12 probes at a 10-minute (virtual) interval.
+	svc := crp.NewService(crp.WithWindow(10))
+	epoch := time.Now()
+	for _, h := range []netsim.HostID{client, near, far} {
+		cl, err := dnsserver.NewClient(srv.Addr(), registry, h)
+		if err != nil {
+			return err
+		}
+		clock.Set(0)
+		for i := 0; i < 12; i++ {
+			for _, name := range network.Names() {
+				resp, err := cl.Query(name, dnswire.TypeA)
+				if err != nil {
+					cl.Close()
+					return err
+				}
+				var ids []crp.ReplicaID
+				for _, rec := range resp.Answers {
+					if a, ok := rec.Data.(*dnswire.ARecord); ok {
+						if id, ok := topo.HostByAddr(a.Addr); ok {
+							ids = append(ids, crp.ReplicaID(topo.Host(id).Name))
+						}
+					}
+				}
+				if err := svc.Observe(nodeID(topo, h), epoch.Add(clock.Now()), ids...); err != nil {
+					cl.Close()
+					return err
+				}
+			}
+			clock.Advance(10 * time.Minute)
+		}
+		cl.Close()
+	}
+
+	// 5. Inspect the ratio maps and relative positions.
+	for _, h := range []netsim.HostID{client, near, far} {
+		m, err := svc.RatioMap(nodeID(topo, h))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s (%s)\n  ν = %s\n", topo.Host(h).Name, topo.Host(h).Region, m)
+	}
+	simNear, err := svc.Similarity(nodeID(topo, client), nodeID(topo, near))
+	if err != nil {
+		return err
+	}
+	simFar, err := svc.Similarity(nodeID(topo, client), nodeID(topo, far))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncos_sim(client, near server) = %.3f\n", simNear)
+	fmt.Printf("cos_sim(client, far server)  = %.3f\n", simFar)
+
+	// 6. Closest-node selection, and the ground truth it should match.
+	best, ok, err := svc.ClosestTo(nodeID(topo, client), []crp.NodeID{nodeID(topo, near), nodeID(topo, far)})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nCRP selects %s (similarity %.3f, signal=%v)\n", best.Node, best.Similarity, ok)
+	fmt.Printf("true RTTs: near %.1f ms, far %.1f ms\n",
+		topo.RTTMs(client, near, clock.Now()), topo.RTTMs(client, far, clock.Now()))
+
+	// 7. Clustering: feed 40 clients' redirections through the fast
+	// in-process path (same mapping system as the DNS server) and group them
+	// with Strongest Mappings First.
+	for _, h := range topo.Clients()[:40] {
+		for i := 0; i < 12; i++ {
+			at := time.Duration(i) * 10 * time.Minute
+			for _, name := range network.Names() {
+				replicas, err := network.Redirect(name, h, at)
+				if err != nil {
+					return err
+				}
+				ids := make([]crp.ReplicaID, len(replicas))
+				for j, r := range replicas {
+					ids[j] = crp.ReplicaID(topo.Host(r).Name)
+				}
+				if err := svc.Observe(nodeID(topo, h), epoch.Add(at), ids...); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	clusters, err := svc.ClusterAll(crp.ClusterConfig{Threshold: crp.DefaultThreshold, SecondPass: true})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nclusters of 40 clients (multi-node only):")
+	for _, c := range clusters {
+		if c.Size() < 2 {
+			continue
+		}
+		regions := map[string]bool{}
+		for _, m := range c.Members {
+			if id, ok := topo.HostByName(string(m)); ok {
+				regions[topo.Host(id).Region] = true
+			}
+		}
+		fmt.Printf("  center %-22s %2d members, regions %v\n", c.Center, c.Size(), keys(regions))
+	}
+	return nil
+}
+
+func keys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func nodeID(topo *netsim.Topology, h netsim.HostID) crp.NodeID {
+	return crp.NodeID(topo.Host(h).Name)
+}

@@ -1,0 +1,158 @@
+// Package asn provides the ASN-based clustering baseline the CRP paper
+// compares against (§V-B): nodes are grouped by the autonomous system that
+// originates their address prefix, on the hypothesis that same-AS nodes are
+// nearby. The paper derives AS membership from RouteViews BGP data; here the
+// prefix table is generated alongside the topology, and lookups use genuine
+// longest-prefix matching over prefixes of varying length.
+package asn
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/crp"
+	"repro/internal/netsim"
+)
+
+// Table is an immutable IP→ASN longest-prefix-match table.
+type Table struct {
+	// byLen maps prefix length → masked address → ASN.
+	byLen   map[int]map[uint32]netsim.ASN
+	lengths []int // present lengths, descending
+	size    int
+}
+
+// BuildTable constructs the routing table from a topology's AS prefixes.
+func BuildTable(topo *netsim.Topology) (*Table, error) {
+	if topo == nil {
+		return nil, errors.New("asn: nil topology")
+	}
+	t := &Table{byLen: make(map[int]map[uint32]netsim.ASN)}
+	for _, as := range topo.ASes() {
+		for _, pfx := range as.Prefixes {
+			if !pfx.Addr().Is4() {
+				return nil, fmt.Errorf("asn: non-IPv4 prefix %v", pfx)
+			}
+			bits := pfx.Bits()
+			m, ok := t.byLen[bits]
+			if !ok {
+				m = make(map[uint32]netsim.ASN)
+				t.byLen[bits] = m
+			}
+			key := maskedKey(pfx.Addr(), bits)
+			if prev, dup := m[key]; dup && prev != as.ASN {
+				return nil, fmt.Errorf("asn: prefix %v announced by AS%d and AS%d", pfx, prev, as.ASN)
+			}
+			m[key] = as.ASN
+			t.size++
+		}
+	}
+	for bits := range t.byLen {
+		t.lengths = append(t.lengths, bits)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(t.lengths)))
+	return t, nil
+}
+
+// Len returns the number of prefixes in the table.
+func (t *Table) Len() int { return t.size }
+
+// Lookup returns the ASN originating the longest matching prefix for addr.
+func (t *Table) Lookup(addr netip.Addr) (netsim.ASN, bool) {
+	if !addr.Is4() {
+		return 0, false
+	}
+	for _, bits := range t.lengths {
+		if as, ok := t.byLen[bits][maskedKey(addr, bits)]; ok {
+			return as, true
+		}
+	}
+	return 0, false
+}
+
+func maskedKey(addr netip.Addr, bits int) uint32 {
+	b := addr.As4()
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	if bits <= 0 {
+		return 0
+	}
+	if bits >= 32 {
+		return v
+	}
+	return v &^ (1<<(32-bits) - 1)
+}
+
+// Clusters groups the given hosts by ASN, resolving each host's AS through
+// the routing table (i.e., by its address, as the paper does with
+// RouteViews, rather than by trusting any side-channel metadata). Each
+// group's center is the member with the lowest total distance to the other
+// members. Hosts whose addresses match no prefix become singletons.
+// Node IDs in the result are the hosts' DNS names.
+func Clusters(topo *netsim.Topology, table *Table, hosts []netsim.HostID, dist func(a, b netsim.HostID) float64) ([]crp.Cluster, error) {
+	if topo == nil || table == nil {
+		return nil, errors.New("asn: nil topology or table")
+	}
+	if dist == nil {
+		dist = topo.BaseRTTMs
+	}
+	groups := make(map[netsim.ASN][]netsim.HostID)
+	var unrouted []netsim.HostID
+	for _, id := range hosts {
+		h := topo.Host(id)
+		if h == nil {
+			return nil, fmt.Errorf("asn: unknown host %d", id)
+		}
+		if as, ok := table.Lookup(h.Addr); ok {
+			groups[as] = append(groups[as], id)
+		} else {
+			unrouted = append(unrouted, id)
+		}
+	}
+
+	name := func(id netsim.HostID) crp.NodeID { return crp.NodeID(topo.Host(id).Name) }
+
+	asns := make([]netsim.ASN, 0, len(groups))
+	for as := range groups {
+		asns = append(asns, as)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+
+	var out []crp.Cluster
+	for _, as := range asns {
+		members := groups[as]
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		center := members[0]
+		if len(members) > 2 {
+			bestSum := -1.0
+			for _, c := range members {
+				sum := 0.0
+				for _, m := range members {
+					if m != c {
+						sum += dist(c, m)
+					}
+				}
+				if bestSum < 0 || sum < bestSum {
+					center, bestSum = c, sum
+				}
+			}
+		}
+		cl := crp.Cluster{Center: name(center)}
+		for _, m := range members {
+			cl.Members = append(cl.Members, name(m))
+		}
+		sort.Slice(cl.Members, func(i, j int) bool { return cl.Members[i] < cl.Members[j] })
+		out = append(out, cl)
+	}
+	for _, id := range unrouted {
+		out = append(out, crp.Cluster{Center: name(id), Members: []crp.NodeID{name(id)}})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Center < out[j].Center
+	})
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package asn
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func testTopology(t *testing.T) *netsim.Topology {
+	t.Helper()
+	p := netsim.DefaultParams()
+	p.NumClients = 150
+	p.NumCandidates = 20
+	p.NumReplicas = 30
+	topo, err := netsim.Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return topo
+}
+
+func TestBuildTable(t *testing.T) {
+	topo := testTopology(t)
+	table, err := BuildTable(topo)
+	if err != nil {
+		t.Fatalf("BuildTable: %v", err)
+	}
+	if table.Len() == 0 {
+		t.Fatal("empty table")
+	}
+	if _, err := BuildTable(nil); err == nil {
+		t.Error("BuildTable(nil) should fail")
+	}
+}
+
+func TestLookupResolvesEveryHost(t *testing.T) {
+	topo := testTopology(t)
+	table, err := BuildTable(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < topo.NumHosts(); i++ {
+		h := topo.Host(netsim.HostID(i))
+		as, ok := table.Lookup(h.Addr)
+		if !ok {
+			t.Fatalf("host %v (%v) matched no prefix", h.ID, h.Addr)
+		}
+		if as != h.ASN {
+			t.Fatalf("host %v resolved to AS%d, want AS%d", h.ID, as, h.ASN)
+		}
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	topo := testTopology(t)
+	table, err := BuildTable(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := table.Lookup(netip.MustParseAddr("192.0.2.1")); ok {
+		t.Error("address outside 10/8 should miss")
+	}
+	if _, ok := table.Lookup(netip.MustParseAddr("2001:db8::1")); ok {
+		t.Error("IPv6 address should miss")
+	}
+}
+
+func TestLookupLongestPrefixWins(t *testing.T) {
+	// Hand-build a table with nested prefixes to verify LPM semantics.
+	table := &Table{byLen: map[int]map[uint32]netsim.ASN{
+		16: {maskedKey(netip.MustParseAddr("10.1.0.0"), 16): 100},
+		24: {maskedKey(netip.MustParseAddr("10.1.2.0"), 24): 200},
+	}, lengths: []int{24, 16}, size: 2}
+
+	if as, ok := table.Lookup(netip.MustParseAddr("10.1.2.7")); !ok || as != 200 {
+		t.Errorf("Lookup(10.1.2.7) = %v,%v; want 200 (the /24)", as, ok)
+	}
+	if as, ok := table.Lookup(netip.MustParseAddr("10.1.9.7")); !ok || as != 100 {
+		t.Errorf("Lookup(10.1.9.7) = %v,%v; want 100 (the /16)", as, ok)
+	}
+}
+
+func TestMaskedKey(t *testing.T) {
+	a := netip.MustParseAddr("10.1.2.3")
+	if got := maskedKey(a, 32); got != 0x0A010203 {
+		t.Errorf("/32 key = %08x", got)
+	}
+	if got := maskedKey(a, 24); got != 0x0A010200 {
+		t.Errorf("/24 key = %08x", got)
+	}
+	if got := maskedKey(a, 8); got != 0x0A000000 {
+		t.Errorf("/8 key = %08x", got)
+	}
+	if got := maskedKey(a, 0); got != 0 {
+		t.Errorf("/0 key = %08x", got)
+	}
+}
+
+func TestClustersGroupByASN(t *testing.T) {
+	topo := testTopology(t)
+	table, err := BuildTable(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := topo.Clients()
+	clusters, err := Clusters(topo, table, hosts, nil)
+	if err != nil {
+		t.Fatalf("Clusters: %v", err)
+	}
+
+	// Every host appears exactly once, and all members of a cluster share
+	// an ASN.
+	seen := map[string]bool{}
+	total := 0
+	for _, c := range clusters {
+		total += len(c.Members)
+		var as netsim.ASN
+		for i, m := range c.Members {
+			if seen[string(m)] {
+				t.Fatalf("node %v in two clusters", m)
+			}
+			seen[string(m)] = true
+			id, ok := topo.HostByName(string(m))
+			if !ok {
+				t.Fatalf("cluster member %q is not a host name", m)
+			}
+			if i == 0 {
+				as = topo.Host(id).ASN
+			} else if topo.Host(id).ASN != as {
+				t.Fatalf("cluster %v mixes AS%d and AS%d", c.Center, as, topo.Host(id).ASN)
+			}
+		}
+	}
+	if total != len(hosts) {
+		t.Errorf("clusters cover %d hosts, want %d", total, len(hosts))
+	}
+}
+
+func TestClustersCenterMinimizesDistance(t *testing.T) {
+	topo := testTopology(t)
+	table, err := BuildTable(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := Clusters(topo, table, topo.Clients(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range clusters {
+		if len(c.Members) < 3 {
+			continue
+		}
+		sumFrom := func(center string) float64 {
+			cid, _ := topo.HostByName(center)
+			s := 0.0
+			for _, m := range c.Members {
+				mid, _ := topo.HostByName(string(m))
+				if mid != cid {
+					s += topo.BaseRTTMs(cid, mid)
+				}
+			}
+			return s
+		}
+		centerSum := sumFrom(string(c.Center))
+		for _, m := range c.Members {
+			if sumFrom(string(m)) < centerSum-1e-9 {
+				t.Errorf("cluster %v: member %v beats center", c.Center, m)
+			}
+		}
+		break // one thorough check is enough
+	}
+}
+
+func TestClustersValidation(t *testing.T) {
+	topo := testTopology(t)
+	table, err := BuildTable(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Clusters(nil, table, nil, nil); err == nil {
+		t.Error("nil topology should fail")
+	}
+	if _, err := Clusters(topo, nil, nil, nil); err == nil {
+		t.Error("nil table should fail")
+	}
+	if _, err := Clusters(topo, table, []netsim.HostID{-7}, nil); err == nil {
+		t.Error("unknown host should fail")
+	}
+}
+
+func TestClustersFewerThanCRPWouldFind(t *testing.T) {
+	// Structural property from the paper: many co-located nodes sit in
+	// different ASes, so ASN clustering leaves most nodes as singletons.
+	topo := testTopology(t)
+	table, err := BuildTable(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := Clusters(topo, table, topo.Clients(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered := 0
+	for _, c := range clusters {
+		if len(c.Members) >= 2 {
+			clustered += len(c.Members)
+		}
+	}
+	frac := float64(clustered) / float64(len(topo.Clients()))
+	if frac > 0.8 {
+		t.Errorf("ASN clustering grouped %.0f%% of nodes; expected substantial singleton fraction", frac*100)
+	}
+}

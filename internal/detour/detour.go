@@ -1,0 +1,174 @@
+// Package detour discovers one-hop detour routes between hosts using the
+// CDN replica servers both endpoints are redirected to — the technique of
+// the CRP authors' prior work ("Drafting behind Akamai", SIGCOMM 2006) that
+// the paper's introduction builds on. Inter-domain routing leaves latency
+// on the table; a replica server the CDN considers close to *both*
+// endpoints is a promising relay, found with zero active probing.
+package detour
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/crp"
+	"repro/internal/netsim"
+)
+
+// PathEvaluator measures candidate paths. Implementations may use live
+// measurements or, in experiments, the simulator's latency model.
+type PathEvaluator interface {
+	// DirectMs returns the latency of the direct path a→b.
+	DirectMs(a, b netsim.HostID) float64
+	// RelayedMs returns the latency of the one-hop path a→relay→b.
+	RelayedMs(a, relay, b netsim.HostID) float64
+}
+
+// TopoEvaluator evaluates paths on a simulated topology at a fixed virtual
+// time.
+type TopoEvaluator struct {
+	Topo *netsim.Topology
+	At   time.Duration
+}
+
+var _ PathEvaluator = (*TopoEvaluator)(nil)
+
+// DirectMs implements PathEvaluator.
+func (e *TopoEvaluator) DirectMs(a, b netsim.HostID) float64 {
+	return e.Topo.RTTMs(a, b, e.At)
+}
+
+// RelayedMs implements PathEvaluator.
+func (e *TopoEvaluator) RelayedMs(a, relay, b netsim.HostID) float64 {
+	return e.Topo.RTTMs(a, relay, e.At) + e.Topo.RTTMs(relay, b, e.At)
+}
+
+// Resolver maps a replica identity from a ratio map back to a host.
+type Resolver func(crp.ReplicaID) (netsim.HostID, bool)
+
+// Route is a discovered one-hop detour.
+type Route struct {
+	Via crp.ReplicaID
+	// DirectMs and RelayedMs are the measured path latencies; SavingMs is
+	// their difference (positive when the detour wins).
+	DirectMs  float64
+	RelayedMs float64
+	SavingMs  float64
+}
+
+// Finder discovers detours from redirection ratio maps.
+type Finder struct {
+	eval    PathEvaluator
+	resolve Resolver
+}
+
+// NewFinder builds a Finder.
+func NewFinder(eval PathEvaluator, resolve Resolver) (*Finder, error) {
+	if eval == nil {
+		return nil, errors.New("detour: nil PathEvaluator")
+	}
+	if resolve == nil {
+		return nil, errors.New("detour: nil Resolver")
+	}
+	return &Finder{eval: eval, resolve: resolve}, nil
+}
+
+// SharedRelays returns the replica servers present in both ratio maps — the
+// zero-probing relay candidate set.
+func SharedRelays(a, b crp.RatioMap) []crp.ReplicaID {
+	var out []crp.ReplicaID
+	small, large := a, b
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	for _, r := range small.Replicas() {
+		if _, ok := large[r]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Best evaluates every shared relay between two hosts and returns the best
+// detour route, or ok=false when the maps share no usable relay. The
+// returned route may still have a negative saving — the caller decides
+// whether to take the detour.
+func (f *Finder) Best(a, b netsim.HostID, mapA, mapB crp.RatioMap) (Route, bool, error) {
+	shared := SharedRelays(mapA, mapB)
+	if len(shared) == 0 {
+		return Route{}, false, nil
+	}
+	direct := f.eval.DirectMs(a, b)
+	best := Route{DirectMs: direct}
+	found := false
+	for _, rid := range shared {
+		relay, ok := f.resolve(rid)
+		if !ok {
+			continue
+		}
+		relayed := f.eval.RelayedMs(a, relay, b)
+		if !found || relayed < best.RelayedMs {
+			best.Via = rid
+			best.RelayedMs = relayed
+			found = true
+		}
+	}
+	if !found {
+		return Route{}, false, nil
+	}
+	best.SavingMs = best.DirectMs - best.RelayedMs
+	return best, true, nil
+}
+
+// Survey evaluates the best detour for every pair in hosts (with maps keyed
+// by host) and returns the routes that improve on the direct path, sorted
+// by saving (largest first), plus the fraction of evaluated pairs improved.
+func (f *Finder) Survey(hosts []netsim.HostID, maps map[netsim.HostID]crp.RatioMap) ([]PairRoute, float64, error) {
+	var wins []PairRoute
+	evaluated := 0
+	for i := 0; i < len(hosts); i++ {
+		for j := i + 1; j < len(hosts); j++ {
+			a, b := hosts[i], hosts[j]
+			ma, ok := maps[a]
+			if !ok {
+				return nil, 0, fmt.Errorf("detour: no ratio map for host %d", a)
+			}
+			mb, ok := maps[b]
+			if !ok {
+				return nil, 0, fmt.Errorf("detour: no ratio map for host %d", b)
+			}
+			route, found, err := f.Best(a, b, ma, mb)
+			if err != nil {
+				return nil, 0, err
+			}
+			if !found {
+				continue
+			}
+			evaluated++
+			if route.SavingMs > 0 {
+				wins = append(wins, PairRoute{A: a, B: b, Route: route})
+			}
+		}
+	}
+	sort.Slice(wins, func(i, j int) bool {
+		if wins[i].Route.SavingMs != wins[j].Route.SavingMs {
+			return wins[i].Route.SavingMs > wins[j].Route.SavingMs
+		}
+		if wins[i].A != wins[j].A {
+			return wins[i].A < wins[j].A
+		}
+		return wins[i].B < wins[j].B
+	})
+	frac := 0.0
+	if evaluated > 0 {
+		frac = float64(len(wins)) / float64(evaluated)
+	}
+	return wins, frac, nil
+}
+
+// PairRoute is a winning detour for one host pair.
+type PairRoute struct {
+	A, B  netsim.HostID
+	Route Route
+}

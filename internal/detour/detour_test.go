@@ -1,0 +1,172 @@
+package detour
+
+import (
+	"testing"
+	"time"
+
+	"repro/crp"
+	"repro/internal/cdn"
+	"repro/internal/netsim"
+)
+
+func testWorld(t *testing.T) (*netsim.Topology, *cdn.Network) {
+	t.Helper()
+	p := netsim.DefaultParams()
+	p.NumClients = 100
+	p.NumCandidates = 10
+	p.NumReplicas = 150
+	topo, err := netsim.Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	network, err := cdn.New(cdn.Config{Topo: topo})
+	if err != nil {
+		t.Fatalf("cdn.New: %v", err)
+	}
+	return topo, network
+}
+
+func collectMaps(t *testing.T, topo *netsim.Topology, network *cdn.Network, hosts []netsim.HostID) map[netsim.HostID]crp.RatioMap {
+	t.Helper()
+	epoch := time.Now()
+	out := make(map[netsim.HostID]crp.RatioMap, len(hosts))
+	for _, h := range hosts {
+		tr := crp.NewTracker()
+		for i := 0; i < 20; i++ {
+			at := time.Duration(i) * 10 * time.Minute
+			for _, name := range network.Names() {
+				replicas, err := network.Redirect(name, h, at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids := make([]crp.ReplicaID, len(replicas))
+				for j, r := range replicas {
+					ids[j] = crp.ReplicaID(topo.Host(r).Name)
+				}
+				tr.Observe(epoch.Add(at), ids...)
+			}
+		}
+		out[h] = tr.RatioMap()
+	}
+	return out
+}
+
+func testFinder(t *testing.T, topo *netsim.Topology) *Finder {
+	t.Helper()
+	f, err := NewFinder(&TopoEvaluator{Topo: topo, At: 0}, func(r crp.ReplicaID) (netsim.HostID, bool) {
+		return topo.HostByName(string(r))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFinderValidation(t *testing.T) {
+	topo, _ := testWorld(t)
+	if _, err := NewFinder(nil, func(crp.ReplicaID) (netsim.HostID, bool) { return 0, false }); err == nil {
+		t.Error("nil evaluator should fail")
+	}
+	if _, err := NewFinder(&TopoEvaluator{Topo: topo}, nil); err == nil {
+		t.Error("nil resolver should fail")
+	}
+}
+
+func TestSharedRelays(t *testing.T) {
+	a := crp.RatioMap{"r1": 0.5, "r2": 0.3, "r3": 0.2}
+	b := crp.RatioMap{"r2": 0.7, "r3": 0.2, "r4": 0.1}
+	got := SharedRelays(a, b)
+	if len(got) != 2 || got[0] != "r2" || got[1] != "r3" {
+		t.Errorf("SharedRelays = %v, want [r2 r3]", got)
+	}
+	if got := SharedRelays(a, crp.RatioMap{"rz": 1}); got != nil {
+		t.Errorf("disjoint SharedRelays = %v", got)
+	}
+}
+
+func TestBestPicksLowestRelayedPath(t *testing.T) {
+	topo, network := testWorld(t)
+	clients := topo.Clients()
+	maps := collectMaps(t, topo, network, clients[:30])
+	f := testFinder(t, topo)
+
+	checked := 0
+	for i := 0; i < 30 && checked < 10; i++ {
+		for j := i + 1; j < 30 && checked < 10; j++ {
+			a, b := clients[i], clients[j]
+			route, found, err := f.Best(a, b, maps[a], maps[b])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !found {
+				continue
+			}
+			checked++
+			// The chosen relay must be optimal among the shared set.
+			for _, rid := range SharedRelays(maps[a], maps[b]) {
+				relay, ok := topo.HostByName(string(rid))
+				if !ok {
+					continue
+				}
+				d := topo.RTTMs(a, relay, 0) + topo.RTTMs(relay, b, 0)
+				if d < route.RelayedMs-1e-9 {
+					t.Fatalf("relay %v (%.1f ms) beats chosen %v (%.1f ms)",
+						rid, d, route.Via, route.RelayedMs)
+				}
+			}
+			if route.SavingMs != route.DirectMs-route.RelayedMs {
+				t.Fatalf("inconsistent saving: %+v", route)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no pair shared a relay")
+	}
+}
+
+func TestBestNoSharedRelays(t *testing.T) {
+	topo, _ := testWorld(t)
+	f := testFinder(t, topo)
+	_, found, err := f.Best(topo.Clients()[0], topo.Clients()[1],
+		crp.RatioMap{"x": 1}, crp.RatioMap{"y": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Error("found a detour with no shared relays")
+	}
+}
+
+func TestSurveyFindsWins(t *testing.T) {
+	topo, network := testWorld(t)
+	hosts := topo.Clients()[:40]
+	maps := collectMaps(t, topo, network, hosts)
+	f := testFinder(t, topo)
+
+	wins, frac, err := f.Survey(hosts, maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The prior work reports ~50% of pairs improved; our AS-penalty tail
+	// should produce a healthy win fraction.
+	if frac < 0.05 {
+		t.Errorf("only %.0f%% of pairs improved by detouring", frac*100)
+	}
+	for i, w := range wins {
+		if w.Route.SavingMs <= 0 {
+			t.Fatalf("non-winning route in results: %+v", w)
+		}
+		if i > 0 && wins[i-1].Route.SavingMs < w.Route.SavingMs {
+			t.Fatal("wins not sorted by saving")
+		}
+	}
+}
+
+func TestSurveyMissingMap(t *testing.T) {
+	topo, _ := testWorld(t)
+	f := testFinder(t, topo)
+	_, _, err := f.Survey(topo.Clients()[:2], map[netsim.HostID]crp.RatioMap{})
+	if err == nil {
+		t.Error("missing ratio map should fail")
+	}
+}

@@ -1,0 +1,148 @@
+// Package dnsserver serves the simulated CDN's zone over real UDP sockets
+// using the dnswire codec, and provides the stub client and the in-process
+// recursive-resolution model used by the King measurement technique.
+//
+// The same authoritative logic (CDNBackend) backs both the wire path — used
+// by cmd/dnsprobe, the quickstart example and integration tests — and the
+// fast in-process path used by large experiments, so both observe identical
+// redirection behaviour.
+package dnsserver
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+// Backend answers DNS questions on behalf of a client identified by its
+// LDNS host. Implementations must be safe for concurrent use.
+type Backend interface {
+	// Answer resolves q for the client behind ldns (netsim.HostID(-1) for
+	// unknown clients) and returns the answer records and response code.
+	Answer(q dnswire.Question, ldns netsim.HostID) ([]dnswire.Record, dnswire.RCode)
+}
+
+// UnknownLDNS marks a query whose source the server cannot attribute to a
+// simulated resolver.
+const UnknownLDNS = netsim.HostID(-1)
+
+// zoneSuffix is the apex of the simulated namespace.
+const zoneSuffix = "sim."
+
+// hostRecordTTL is the TTL for static host A records.
+const hostRecordTTL = 3600
+
+// CDNBackend is the authoritative server logic for the "sim." zone: it
+// answers CDN-accelerated names with the mapping system's current
+// redirections, and plain host names with their static addresses.
+type CDNBackend struct {
+	Topo  *netsim.Topology
+	CDN   *cdn.Network
+	Clock *netsim.Clock
+}
+
+var _ Backend = (*CDNBackend)(nil)
+
+// Answer implements Backend.
+func (b *CDNBackend) Answer(q dnswire.Question, ldns netsim.HostID) ([]dnswire.Record, dnswire.RCode) {
+	if q.Class != dnswire.ClassIN {
+		return nil, dnswire.RCodeNotImp
+	}
+	name := strings.ToLower(q.Name)
+	if !strings.HasSuffix(name, "."+zoneSuffix) && name != zoneSuffix {
+		return nil, dnswire.RCodeRefused
+	}
+
+	switch q.Type {
+	case dnswire.TypeSOA:
+		if name == zoneSuffix {
+			return []dnswire.Record{b.soa()}, dnswire.RCodeNoError
+		}
+	case dnswire.TypeNS:
+		if name == zoneSuffix {
+			return []dnswire.Record{{
+				Name: zoneSuffix, Type: dnswire.TypeNS, Class: dnswire.ClassIN, TTL: 300,
+				Data: &dnswire.NSRecord{Host: "ns1." + zoneSuffix},
+			}}, dnswire.RCodeNoError
+		}
+	case dnswire.TypeA:
+		return b.answerA(q.Name, name, ldns)
+	}
+	// Name exists but no data of the requested type, or an empty non-apex
+	// answer: report NODATA/NXDOMAIN accordingly.
+	if b.nameExists(name) {
+		return nil, dnswire.RCodeNoError
+	}
+	return nil, dnswire.RCodeNXDomain
+}
+
+func (b *CDNBackend) answerA(origName, name string, ldns netsim.HostID) ([]dnswire.Record, dnswire.RCode) {
+	// CDN-accelerated name: consult the mapping system.
+	if b.isCDNName(name) {
+		at := b.Clock.Now()
+		replicas, err := b.CDN.Redirect(name, ldns, at)
+		if err != nil {
+			// Unknown LDNS: serve the global default set, as a real CDN does
+			// for resolvers it cannot localize.
+			replicas, err = b.CDN.FallbackSet(name)
+			if err != nil {
+				return nil, dnswire.RCodeServFail
+			}
+		}
+		ttl := uint32(b.CDN.TTL() / time.Second)
+		recs := make([]dnswire.Record, 0, len(replicas))
+		for _, id := range replicas {
+			h := b.Topo.Host(id)
+			if h == nil {
+				return nil, dnswire.RCodeServFail
+			}
+			recs = append(recs, dnswire.Record{
+				Name: origName, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: ttl,
+				Data: &dnswire.ARecord{Addr: h.Addr},
+			})
+		}
+		return recs, dnswire.RCodeNoError
+	}
+
+	// Static host name.
+	if id, ok := b.Topo.HostByName(name); ok {
+		return []dnswire.Record{{
+			Name: origName, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: hostRecordTTL,
+			Data: &dnswire.ARecord{Addr: b.Topo.Host(id).Addr},
+		}}, dnswire.RCodeNoError
+	}
+	if name == zoneSuffix {
+		return nil, dnswire.RCodeNoError // apex exists, no A data
+	}
+	return nil, dnswire.RCodeNXDomain
+}
+
+func (b *CDNBackend) isCDNName(name string) bool {
+	for _, n := range b.CDN.Names() {
+		if dnswire.EqualNames(n, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *CDNBackend) nameExists(name string) bool {
+	if name == zoneSuffix || b.isCDNName(name) {
+		return true
+	}
+	_, ok := b.Topo.HostByName(name)
+	return ok
+}
+
+func (b *CDNBackend) soa() dnswire.Record {
+	return dnswire.Record{
+		Name: zoneSuffix, Type: dnswire.TypeSOA, Class: dnswire.ClassIN, TTL: 300,
+		Data: &dnswire.SOARecord{
+			MName: "ns1." + zoneSuffix, RName: "ops." + zoneSuffix,
+			Serial: 1, Refresh: 7200, Retry: 600, Expire: 86400, Minimum: 60,
+		},
+	}
+}

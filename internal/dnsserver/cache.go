@@ -1,0 +1,177 @@
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// CachingClient wraps a DNS querier with an RFC 1035 TTL-honoring answer
+// cache, the behaviour of a real stub/recursive resolver. It matters for
+// CRP in both directions: a passive client observes post-cache traffic, and
+// an active CRP client probing every ≥10 minutes always misses the CDN's
+// 20-second TTLs — the reason the paper can bound CRP's added load on the
+// CDN by the probe interval alone.
+type CachingClient struct {
+	querier Querier
+	now     func() time.Time
+	max     int
+
+	mu    sync.Mutex
+	cache map[cacheKey]cacheEntry
+
+	hits, misses int
+}
+
+// Querier issues DNS queries; *Client implements it.
+type Querier interface {
+	Query(name string, qtype dnswire.Type) (*dnswire.Message, error)
+}
+
+var _ Querier = (*Client)(nil)
+
+type cacheKey struct {
+	name  string
+	qtype dnswire.Type
+}
+
+type cacheEntry struct {
+	wire    []byte // packed response; unpacked per hit so callers can't alias
+	expires time.Time
+}
+
+// CacheOption customizes a CachingClient.
+type CacheOption func(*CachingClient)
+
+// WithCacheClock injects the time source (for virtual-time tests).
+func WithCacheClock(now func() time.Time) CacheOption {
+	return func(c *CachingClient) { c.now = now }
+}
+
+// WithCacheSize bounds the number of cached entries (default 4096).
+func WithCacheSize(n int) CacheOption {
+	return func(c *CachingClient) {
+		if n > 0 {
+			c.max = n
+		}
+	}
+}
+
+// NewCachingClient wraps q with a cache.
+func NewCachingClient(q Querier, opts ...CacheOption) (*CachingClient, error) {
+	if q == nil {
+		return nil, errors.New("dnsserver: nil Querier")
+	}
+	c := &CachingClient{
+		querier: q,
+		now:     time.Now,
+		max:     4096,
+		cache:   make(map[cacheKey]cacheEntry),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Query resolves name/qtype, serving from cache while the answer's TTL
+// allows. The returned message is private to the caller. cached reports
+// whether the answer came from the cache.
+func (c *CachingClient) Query(name string, qtype dnswire.Type) (msg *dnswire.Message, cached bool, err error) {
+	key := cacheKey{name: strings.ToLower(name), qtype: qtype}
+	now := c.now()
+
+	c.mu.Lock()
+	if e, ok := c.cache[key]; ok {
+		if now.Before(e.expires) {
+			c.hits++
+			c.mu.Unlock()
+			m, err := dnswire.Unpack(e.wire)
+			if err != nil {
+				return nil, false, fmt.Errorf("dnsserver: corrupt cache entry: %w", err)
+			}
+			return m, true, nil
+		}
+		delete(c.cache, key)
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	resp, err := c.querier.Query(name, qtype)
+	if err != nil {
+		return nil, false, err
+	}
+	if ttl, ok := cacheableTTL(resp); ok {
+		wire, err := resp.Pack()
+		if err == nil {
+			c.mu.Lock()
+			if len(c.cache) >= c.max {
+				c.evictLocked()
+			}
+			c.cache[key] = cacheEntry{wire: wire, expires: now.Add(ttl)}
+			c.mu.Unlock()
+		}
+	}
+	return resp, false, nil
+}
+
+// cacheableTTL returns how long resp may be cached: the minimum answer TTL
+// of a successful response. Errors, empty answers and zero TTLs are not
+// cached (negative caching is deliberately out of scope).
+func cacheableTTL(resp *dnswire.Message) (time.Duration, bool) {
+	if resp.RCode != dnswire.RCodeNoError || len(resp.Answers) == 0 {
+		return 0, false
+	}
+	minTTL := resp.Answers[0].TTL
+	for _, r := range resp.Answers[1:] {
+		if r.Type == dnswire.TypeOPT {
+			continue
+		}
+		if r.TTL < minTTL {
+			minTTL = r.TTL
+		}
+	}
+	if minTTL == 0 {
+		return 0, false
+	}
+	return time.Duration(minTTL) * time.Second, true
+}
+
+// evictLocked drops expired entries, and if none were expired, an arbitrary
+// entry — a simple bound, not an LRU; the CRP workload never approaches it.
+func (c *CachingClient) evictLocked() {
+	now := c.now()
+	dropped := false
+	for k, e := range c.cache {
+		if !now.Before(e.expires) {
+			delete(c.cache, k)
+			dropped = true
+		}
+	}
+	if dropped {
+		return
+	}
+	for k := range c.cache {
+		delete(c.cache, k)
+		return
+	}
+}
+
+// Stats returns the cache's hit and miss counts.
+func (c *CachingClient) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of live entries (expired entries may be counted
+// until their next access).
+func (c *CachingClient) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}

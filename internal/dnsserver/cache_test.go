@@ -1,0 +1,232 @@
+package dnsserver
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// fakeQuerier counts queries and answers with a configurable TTL.
+type fakeQuerier struct {
+	calls int
+	ttl   uint32
+	rcode dnswire.RCode
+	empty bool
+}
+
+func (f *fakeQuerier) Query(name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	f.calls++
+	m := &dnswire.Message{
+		Header:    dnswire.Header{ID: uint16(f.calls), Response: true, RCode: f.rcode},
+		Questions: []dnswire.Question{{Name: name, Type: qtype, Class: dnswire.ClassIN}},
+	}
+	if f.rcode == dnswire.RCodeNoError && !f.empty {
+		m.Answers = []dnswire.Record{{
+			Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: f.ttl,
+			Data: &dnswire.ARecord{Addr: netip.AddrFrom4([4]byte{10, 0, 0, byte(f.calls)})},
+		}}
+	}
+	return m, nil
+}
+
+// virtualClock is an adjustable time source.
+type virtualClock struct{ t time.Time }
+
+func (v *virtualClock) now() time.Time { return v.t }
+
+func newCached(t *testing.T, f *fakeQuerier, clock *virtualClock, opts ...CacheOption) *CachingClient {
+	t.Helper()
+	opts = append([]CacheOption{WithCacheClock(clock.now)}, opts...)
+	c, err := NewCachingClient(f, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCachingClientValidation(t *testing.T) {
+	if _, err := NewCachingClient(nil); err == nil {
+		t.Error("nil querier should fail")
+	}
+}
+
+func TestCacheHitWithinTTL(t *testing.T) {
+	f := &fakeQuerier{ttl: 20}
+	clock := &virtualClock{t: time.Unix(0, 0)}
+	c := newCached(t, f, clock)
+
+	first, cached, err := c.Query("a.sim.", dnswire.TypeA)
+	if err != nil || cached {
+		t.Fatalf("first query: cached=%v err=%v", cached, err)
+	}
+	clock.t = clock.t.Add(10 * time.Second)
+	second, cached, err := c.Query("a.sim.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("second query within TTL not served from cache")
+	}
+	if f.calls != 1 {
+		t.Errorf("upstream queried %d times, want 1", f.calls)
+	}
+	a1 := first.Answers[0].Data.(*dnswire.ARecord).Addr
+	a2 := second.Answers[0].Data.(*dnswire.ARecord).Addr
+	if a1 != a2 {
+		t.Errorf("cached answer differs: %v vs %v", a1, a2)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestCacheMissAfterExpiry(t *testing.T) {
+	f := &fakeQuerier{ttl: 20}
+	clock := &virtualClock{t: time.Unix(0, 0)}
+	c := newCached(t, f, clock)
+
+	if _, _, err := c.Query("a.sim.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	clock.t = clock.t.Add(21 * time.Second)
+	_, cached, err := c.Query("a.sim.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("expired entry served from cache")
+	}
+	if f.calls != 2 {
+		t.Errorf("upstream queried %d times, want 2", f.calls)
+	}
+}
+
+func TestCacheKeysByNameAndType(t *testing.T) {
+	f := &fakeQuerier{ttl: 60}
+	clock := &virtualClock{t: time.Unix(0, 0)}
+	c := newCached(t, f, clock)
+
+	mustMiss := func(name string, qtype dnswire.Type) {
+		t.Helper()
+		if _, cached, err := c.Query(name, qtype); err != nil || cached {
+			t.Fatalf("query %s %v: cached=%v err=%v", name, qtype, cached, err)
+		}
+	}
+	mustMiss("a.sim.", dnswire.TypeA)
+	mustMiss("b.sim.", dnswire.TypeA)
+	mustMiss("a.sim.", dnswire.TypeTXT)
+	// Case-insensitive keying: this is a hit.
+	if _, cached, err := c.Query("A.sim.", dnswire.TypeA); err != nil || !cached {
+		t.Errorf("case-folded query: cached=%v err=%v", cached, err)
+	}
+}
+
+func TestCacheSkipsUncacheableResponses(t *testing.T) {
+	clock := &virtualClock{t: time.Unix(0, 0)}
+	for name, f := range map[string]*fakeQuerier{
+		"nxdomain": {rcode: dnswire.RCodeNXDomain},
+		"empty":    {empty: true},
+		"zero ttl": {ttl: 0},
+		"servfail": {rcode: dnswire.RCodeServFail},
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := newCached(t, f, clock)
+			if _, _, err := c.Query("x.sim.", dnswire.TypeA); err != nil {
+				t.Fatal(err)
+			}
+			if _, cached, _ := c.Query("x.sim.", dnswire.TypeA); cached {
+				t.Error("uncacheable response was cached")
+			}
+			if f.calls != 2 {
+				t.Errorf("upstream queried %d times, want 2", f.calls)
+			}
+		})
+	}
+}
+
+func TestCacheReturnsPrivateCopies(t *testing.T) {
+	f := &fakeQuerier{ttl: 60}
+	clock := &virtualClock{t: time.Unix(0, 0)}
+	c := newCached(t, f, clock)
+
+	if _, _, err := c.Query("a.sim.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	m1, _, err := c.Query("a.sim.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Answers[0].Name = "tampered."
+	m2, _, err := c.Query("a.sim.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Answers[0].Name == "tampered." {
+		t.Error("cache returned shared message storage")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	f := &fakeQuerier{ttl: 3600}
+	clock := &virtualClock{t: time.Unix(0, 0)}
+	c := newCached(t, f, clock, WithCacheSize(3))
+
+	for _, name := range []string{"a.sim.", "b.sim.", "c.sim.", "d.sim."} {
+		if _, _, err := c.Query(name, dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Len(); got > 3 {
+		t.Errorf("cache holds %d entries, cap 3", got)
+	}
+}
+
+func TestCacheAgainstRealServer(t *testing.T) {
+	fx := newFixture(t)
+	pc, err := listenUDP(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := NewRegistry()
+	srv, err := Serve(pc, fx.backend, registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ldns := fx.topo.Clients()[0]
+	client, err := NewClient(srv.Addr(), registry, ldns, WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	clock := &virtualClock{t: time.Unix(0, 0)}
+	c, err := NewCachingClient(client, WithCacheClock(clock.now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := fx.cdn.Names()[0]
+	if _, cached, err := c.Query(name, dnswire.TypeA); err != nil || cached {
+		t.Fatalf("first: cached=%v err=%v", cached, err)
+	}
+	// Within the CDN's 20-second TTL: cached.
+	clock.t = clock.t.Add(15 * time.Second)
+	if _, cached, err := c.Query(name, dnswire.TypeA); err != nil || !cached {
+		t.Fatalf("within TTL: cached=%v err=%v", cached, err)
+	}
+	// A CRP-style probe 10 minutes later always misses.
+	clock.t = clock.t.Add(10 * time.Minute)
+	if _, cached, err := c.Query(name, dnswire.TypeA); err != nil || cached {
+		t.Fatalf("after TTL: cached=%v err=%v", cached, err)
+	}
+}
+
+// listenUDP opens a loopback UDP socket for tests.
+func listenUDP(t *testing.T) (net.PacketConn, error) {
+	t.Helper()
+	return net.ListenPacket("udp", "127.0.0.1:0")
+}

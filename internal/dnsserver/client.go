@@ -1,0 +1,197 @@
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+// Client is a stub DNS resolver speaking to one server over UDP. It owns a
+// single socket, optionally registered as a simulated LDNS identity, and is
+// safe for concurrent use (queries are serialized on the socket).
+type Client struct {
+	server   net.Addr
+	registry *Registry
+
+	mu          sync.Mutex
+	pc          net.PacketConn
+	rng         *rand.Rand
+	timeout     time.Duration
+	retries     int
+	edns        uint16
+	tcpFallback bool
+	ldns        netsim.HostID
+	closed      bool
+}
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-attempt timeout (default 2s).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetries sets the number of retransmissions after the first attempt
+// (default 2).
+func WithRetries(n int) ClientOption {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithEDNS0 makes the client advertise an EDNS0 UDP buffer of the given
+// size on every query, allowing responses beyond the classic 512 bytes.
+func WithEDNS0(size uint16) ClientOption {
+	return func(c *Client) { c.edns = size }
+}
+
+// WithTCPFallback controls whether truncated UDP responses are retried over
+// DNS-over-TCP to the same server address (default true).
+func WithTCPFallback(enabled bool) ClientOption {
+	return func(c *Client) { c.tcpFallback = enabled }
+}
+
+// NewClient opens a stub resolver socket aimed at server. If registry is
+// non-nil the socket is registered as the given simulated LDNS so the server
+// can localize its answers. Close releases the socket.
+func NewClient(server net.Addr, registry *Registry, ldns netsim.HostID, opts ...ClientOption) (*Client, error) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: open client socket: %w", err)
+	}
+	c := &Client{
+		server:      server,
+		registry:    registry,
+		pc:          pc,
+		rng:         rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), uint64(ldns))),
+		timeout:     2 * time.Second,
+		retries:     2,
+		tcpFallback: true,
+		ldns:        ldns,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if registry != nil {
+		registry.Register(pc.LocalAddr(), ldns)
+	}
+	return c, nil
+}
+
+// Close releases the client socket and its registry entry.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.registry != nil {
+		c.registry.Unregister(c.pc.LocalAddr())
+	}
+	return c.pc.Close()
+}
+
+// ErrClientClosed is returned by Exchange after Close.
+var ErrClientClosed = errors.New("dnsserver: client closed")
+
+// Query builds and sends a single-question query and returns the response.
+func (c *Client) Query(name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	msg := &dnswire.Message{
+		Header: dnswire.Header{RecursionDesired: true},
+		Questions: []dnswire.Question{
+			{Name: name, Type: qtype, Class: dnswire.ClassIN},
+		},
+	}
+	if c.edns > 0 {
+		msg.SetEDNS0(c.edns)
+	}
+	return c.Exchange(msg)
+}
+
+// Exchange sends msg (assigning a fresh ID) and waits for the matching
+// response, retransmitting on timeout.
+func (c *Client) Exchange(msg *dnswire.Message) (*dnswire.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	msg.ID = uint16(c.rng.Uint32())
+	wire, err := msg.Pack()
+	if err != nil {
+		return nil, err
+	}
+
+	var lastErr error
+	buf := make([]byte, 4096)
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if _, err := c.pc.WriteTo(wire, c.server); err != nil {
+			return nil, fmt.Errorf("dnsserver: send query: %w", err)
+		}
+		deadline := time.Now().Add(c.timeout)
+		if err := c.pc.SetReadDeadline(deadline); err != nil {
+			return nil, err
+		}
+		for {
+			n, _, err := c.pc.ReadFrom(buf)
+			if err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					lastErr = fmt.Errorf("dnsserver: query %q timed out (attempt %d)",
+						msg.Questions[0].Name, attempt+1)
+					break // retransmit
+				}
+				return nil, err
+			}
+			resp, err := dnswire.Unpack(buf[:n])
+			if err != nil || !resp.Response || resp.ID != msg.ID {
+				continue // stray or corrupt datagram; keep waiting
+			}
+			if resp.Truncated && c.tcpFallback {
+				return c.exchangeTCPLocked(wire, msg.ID)
+			}
+			return resp, nil
+		}
+	}
+	return nil, lastErr
+}
+
+// exchangeTCPLocked retries a truncated query over DNS-over-TCP against the
+// same server address. Called with c.mu held.
+func (c *Client) exchangeTCPLocked(wire []byte, id uint16) (*dnswire.Message, error) {
+	d := net.Dialer{Timeout: c.timeout}
+	conn, err := d.Dial("tcp", c.server.String())
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: tcp fallback dial: %w", err)
+	}
+	defer conn.Close()
+	// Register the TCP socket's identity so the server can localize the
+	// answer the same way it does for the UDP socket.
+	if c.registry != nil {
+		c.registry.Register(conn.LocalAddr(), c.ldns)
+		defer c.registry.Unregister(conn.LocalAddr())
+	}
+	if err := conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return nil, err
+	}
+	if err := writeTCPMessage(conn, wire); err != nil {
+		return nil, fmt.Errorf("dnsserver: tcp fallback send: %w", err)
+	}
+	raw, err := readTCPMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: tcp fallback read: %w", err)
+	}
+	resp, err := dnswire.Unpack(raw)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: tcp fallback response: %w", err)
+	}
+	if !resp.Response || resp.ID != id {
+		return nil, errors.New("dnsserver: tcp fallback response mismatch")
+	}
+	return resp, nil
+}

@@ -1,0 +1,411 @@
+package dnsserver
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+type fixture struct {
+	topo    *netsim.Topology
+	cdn     *cdn.Network
+	clock   *netsim.Clock
+	backend *CDNBackend
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	p := netsim.DefaultParams()
+	p.NumClients = 60
+	p.NumCandidates = 20
+	p.NumReplicas = 60
+	topo, err := netsim.Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	network, err := cdn.New(cdn.Config{Topo: topo})
+	if err != nil {
+		t.Fatalf("cdn.New: %v", err)
+	}
+	clock := netsim.NewClock()
+	return &fixture{
+		topo: topo, cdn: network, clock: clock,
+		backend: &CDNBackend{Topo: topo, CDN: network, Clock: clock},
+	}
+}
+
+func q(name string, typ dnswire.Type) dnswire.Question {
+	return dnswire.Question{Name: name, Type: typ, Class: dnswire.ClassIN}
+}
+
+func TestBackendAnswersCDNName(t *testing.T) {
+	f := newFixture(t)
+	client := f.topo.Clients()[0]
+	name := f.cdn.Names()[0]
+	answers, rcode := f.backend.Answer(q(name, dnswire.TypeA), client)
+	if rcode != dnswire.RCodeNoError {
+		t.Fatalf("rcode = %v", rcode)
+	}
+	if len(answers) != cdn.DefaultAnswerCount {
+		t.Fatalf("got %d answers, want %d", len(answers), cdn.DefaultAnswerCount)
+	}
+	want, err := f.cdn.Redirect(name, client, f.clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range answers {
+		if rec.Type != dnswire.TypeA || rec.TTL != 20 {
+			t.Errorf("answer %d: type %v TTL %d, want A/20", i, rec.Type, rec.TTL)
+		}
+		a := rec.Data.(*dnswire.ARecord)
+		if a.Addr != f.topo.Host(want[i]).Addr {
+			t.Errorf("answer %d addr = %v, want %v", i, a.Addr, f.topo.Host(want[i]).Addr)
+		}
+	}
+}
+
+func TestBackendCDNAnswerDependsOnLDNS(t *testing.T) {
+	f := newFixture(t)
+	name := f.cdn.Names()[0]
+	// Find two clients in different regions: their redirections should differ.
+	clients := f.topo.Clients()
+	a := clients[0]
+	var b netsim.HostID = -1
+	for _, c := range clients[1:] {
+		if f.topo.Host(c).Region != f.topo.Host(a).Region {
+			b = c
+			break
+		}
+	}
+	if b < 0 {
+		t.Skip("no cross-region client pair")
+	}
+	ansA, _ := f.backend.Answer(q(name, dnswire.TypeA), a)
+	ansB, _ := f.backend.Answer(q(name, dnswire.TypeA), b)
+	if ansA[0].Data.(*dnswire.ARecord).Addr == ansB[0].Data.(*dnswire.ARecord).Addr {
+		t.Error("cross-region clients received identical first answers; mapping not localized")
+	}
+}
+
+func TestBackendUnknownLDNSGetsFallback(t *testing.T) {
+	f := newFixture(t)
+	name := f.cdn.Names()[0]
+	answers, rcode := f.backend.Answer(q(name, dnswire.TypeA), UnknownLDNS)
+	if rcode != dnswire.RCodeNoError || len(answers) == 0 {
+		t.Fatalf("rcode = %v, %d answers", rcode, len(answers))
+	}
+	for _, rec := range answers {
+		id, ok := f.topo.HostByAddr(rec.Data.(*dnswire.ARecord).Addr)
+		if !ok || !f.cdn.IsFallback(id) {
+			t.Errorf("unknown-LDNS answer %v is not a fallback replica", rec)
+		}
+	}
+}
+
+func TestBackendHostNames(t *testing.T) {
+	f := newFixture(t)
+	h := f.topo.Host(f.topo.Clients()[7])
+	answers, rcode := f.backend.Answer(q(h.Name, dnswire.TypeA), UnknownLDNS)
+	if rcode != dnswire.RCodeNoError || len(answers) != 1 {
+		t.Fatalf("rcode = %v, %d answers", rcode, len(answers))
+	}
+	if got := answers[0].Data.(*dnswire.ARecord).Addr; got != h.Addr {
+		t.Errorf("addr = %v, want %v", got, h.Addr)
+	}
+	// Case-insensitive lookup.
+	upper := strings.ToUpper(h.Name[:1]) + h.Name[1:]
+	if _, rcode := f.backend.Answer(q(upper, dnswire.TypeA), UnknownLDNS); rcode != dnswire.RCodeNoError {
+		t.Errorf("uppercase lookup rcode = %v", rcode)
+	}
+}
+
+func TestBackendMetaQueries(t *testing.T) {
+	f := newFixture(t)
+	tests := []struct {
+		name      string
+		question  dnswire.Question
+		wantRCode dnswire.RCode
+		wantAns   int
+	}{
+		{"soa at apex", q("sim.", dnswire.TypeSOA), dnswire.RCodeNoError, 1},
+		{"ns at apex", q("sim.", dnswire.TypeNS), dnswire.RCodeNoError, 1},
+		{"a at apex nodata", q("sim.", dnswire.TypeA), dnswire.RCodeNoError, 0},
+		{"nxdomain", q("nothere.client.sim.", dnswire.TypeA), dnswire.RCodeNXDomain, 0},
+		{"out of zone", q("example.com.", dnswire.TypeA), dnswire.RCodeRefused, 0},
+		{"wrong class", dnswire.Question{Name: "sim.", Type: dnswire.TypeA, Class: 3}, dnswire.RCodeNotImp, 0},
+		{"nodata txt on host", q(f.topo.Host(0).Name, dnswire.TypeTXT), dnswire.RCodeNoError, 0},
+		{"soa on nonexistent", q("nope.sim.", dnswire.TypeSOA), dnswire.RCodeNXDomain, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			answers, rcode := f.backend.Answer(tt.question, UnknownLDNS)
+			if rcode != tt.wantRCode {
+				t.Errorf("rcode = %v, want %v", rcode, tt.wantRCode)
+			}
+			if len(answers) != tt.wantAns {
+				t.Errorf("answers = %d, want %d", len(answers), tt.wantAns)
+			}
+		})
+	}
+}
+
+func TestServerEndToEndOverUDP(t *testing.T) {
+	f := newFixture(t)
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := NewRegistry()
+	srv, err := Serve(pc, f.backend, registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ldns := f.topo.Clients()[2]
+	client, err := NewClient(srv.Addr(), registry, ldns, WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	name := f.cdn.Names()[0]
+	resp, err := client.Query(name, dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !resp.Response || !resp.Authoritative || resp.RCode != dnswire.RCodeNoError {
+		t.Fatalf("bad response header: %+v", resp.Header)
+	}
+	if len(resp.Answers) != cdn.DefaultAnswerCount {
+		t.Fatalf("got %d answers, want %d", len(resp.Answers), cdn.DefaultAnswerCount)
+	}
+	// The wire answer matches the in-process mapping decision: both paths
+	// share one mapping system.
+	want, err := f.cdn.Redirect(name, ldns, f.clock.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Answers[0].Data.(*dnswire.ARecord).Addr; got != f.topo.Host(want[0]).Addr {
+		t.Errorf("wire answer %v, in-process answer %v", got, f.topo.Host(want[0]).Addr)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	f := newFixture(t)
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := NewRegistry()
+	srv, err := Serve(pc, f.backend, registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const nClients = 8
+	errc := make(chan error, nClients)
+	for i := 0; i < nClients; i++ {
+		go func(i int) {
+			ldns := f.topo.Clients()[i]
+			client, err := NewClient(srv.Addr(), registry, ldns, WithTimeout(time.Second))
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer client.Close()
+			for j := 0; j < 10; j++ {
+				resp, err := client.Query(f.cdn.Names()[j%2], dnswire.TypeA)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.RCode != dnswire.RCodeNoError {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(i)
+	}
+	for i := 0; i < nClients; i++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("client: %v", err)
+		}
+	}
+}
+
+func TestServerIgnoresGarbage(t *testing.T) {
+	f := newFixture(t)
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(pc, f.backend, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Fire garbage at the server, then check it still answers real queries.
+	conn, err := net.Dial("udp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, pkt := range [][]byte{{}, {1}, {0xFF, 0xFF, 0xFF}, make([]byte, 600)} {
+		if _, err := conn.Write(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	client, err := NewClient(srv.Addr(), nil, UnknownLDNS, WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	resp, err := client.Query("sim.", dnswire.TypeSOA)
+	if err != nil {
+		t.Fatalf("server unresponsive after garbage: %v", err)
+	}
+	if resp.RCode != dnswire.RCodeNoError {
+		t.Errorf("rcode = %v", resp.RCode)
+	}
+}
+
+func TestServerCloseIdempotentAndStops(t *testing.T) {
+	f := newFixture(t)
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(pc, f.backend, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	f := newFixture(t)
+	if _, err := Serve(nil, f.backend, nil); err == nil {
+		t.Error("Serve(nil conn) should fail")
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	if _, err := Serve(pc, nil, nil); err == nil {
+		t.Error("Serve(nil backend) should fail")
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	f := newFixture(t)
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(pc, f.backend, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := NewClient(srv.Addr(), nil, UnknownLDNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Query("sim.", dnswire.TypeSOA); err != ErrClientClosed {
+		t.Errorf("Query after Close: err = %v, want ErrClientClosed", err)
+	}
+	if err := client.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestClientTimesOutAgainstBlackhole(t *testing.T) {
+	// A socket that never answers.
+	hole, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hole.Close()
+	client, err := NewClient(hole.LocalAddr(), nil, UnknownLDNS,
+		WithTimeout(50*time.Millisecond), WithRetries(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	start := time.Now()
+	_, err = client.Query("sim.", dnswire.TypeSOA)
+	if err == nil {
+		t.Fatal("query against blackhole should fail")
+	}
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Errorf("gave up after %v; should have retried once", elapsed)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	r := NewRegistry()
+	addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 5353}
+	if got := r.Lookup(addr); got != UnknownLDNS {
+		t.Errorf("unregistered Lookup = %v, want UnknownLDNS", got)
+	}
+	r.Register(addr, 42)
+	if got := r.Lookup(addr); got != 42 {
+		t.Errorf("Lookup = %v, want 42", got)
+	}
+	r.Unregister(addr)
+	if got := r.Lookup(addr); got != UnknownLDNS {
+		t.Errorf("Lookup after Unregister = %v, want UnknownLDNS", got)
+	}
+}
+
+func TestRecursorLatencies(t *testing.T) {
+	f := newFixture(t)
+	r := &Recursor{Topo: f.topo}
+	probe := f.topo.Candidates()[0]
+	a := f.topo.Clients()[0]
+	b := f.topo.Clients()[1]
+
+	direct, err := r.DirectLatencyMs(probe, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recursive, err := r.RecursiveLatencyMs(probe, a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recursive <= direct {
+		t.Errorf("recursive latency %v not above direct %v", recursive, direct)
+	}
+	// The King difference should approximate RTT(a, b).
+	truth := f.topo.RTTMs(a, b, 0)
+	est := recursive - direct
+	if est < truth*0.5 || est > truth*2+100 {
+		t.Errorf("king-style estimate %v wildly off truth %v", est, truth)
+	}
+
+	if _, err := r.DirectLatencyMs(-1, a, 0); err == nil {
+		t.Error("DirectLatencyMs with bad host should fail")
+	}
+	if _, err := r.RecursiveLatencyMs(probe, a, -1, 0); err == nil {
+		t.Error("RecursiveLatencyMs with bad auth should fail")
+	}
+}

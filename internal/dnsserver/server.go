@@ -1,0 +1,201 @@
+package dnsserver
+
+import (
+	"errors"
+	"net"
+	"sync"
+
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+// Registry maps the source addresses of in-process stub resolvers to the
+// simulated LDNS hosts they represent. A real CDN identifies the querying
+// resolver by its source IP; since every simulated resolver shares this
+// process, sockets register themselves instead.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]netsim.HostID
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]netsim.HostID)}
+}
+
+// Register associates a socket address with a simulated LDNS host.
+func (r *Registry) Register(addr net.Addr, id netsim.HostID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[addr.String()] = id
+}
+
+// Unregister removes an association.
+func (r *Registry) Unregister(addr net.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.m, addr.String())
+}
+
+// Lookup resolves a socket address to its simulated LDNS, or UnknownLDNS.
+func (r *Registry) Lookup(addr net.Addr) netsim.HostID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id, ok := r.m[addr.String()]; ok {
+		return id
+	}
+	return UnknownLDNS
+}
+
+// Server is an authoritative DNS-over-UDP server. Create it with Serve and
+// stop it with Close; Close waits for in-flight requests.
+type Server struct {
+	pc       net.PacketConn
+	backend  Backend
+	registry *Registry
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// Serve starts answering queries arriving on pc using backend. If registry
+// is nil, every query is treated as coming from an unknown LDNS.
+// The caller owns pc until Serve returns; afterwards the server owns it and
+// closes it in Close.
+func Serve(pc net.PacketConn, backend Backend, registry *Registry) (*Server, error) {
+	if pc == nil {
+		return nil, errors.New("dnsserver: nil PacketConn")
+	}
+	if backend == nil {
+		return nil, errors.New("dnsserver: nil Backend")
+	}
+	s := &Server{
+		pc:       pc,
+		backend:  backend,
+		registry: registry,
+		closed:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.readLoop()
+	return s, nil
+}
+
+// Addr returns the server's listening address.
+func (s *Server) Addr() net.Addr { return s.pc.LocalAddr() }
+
+// Close stops the server and waits for in-flight requests to drain.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.pc.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 4096)
+	for {
+		n, from, err := s.pc.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			// Transient read errors on UDP are not fatal; keep serving
+			// unless the socket is gone.
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		s.wg.Add(1)
+		go func(pkt []byte, from net.Addr) {
+			defer s.wg.Done()
+			s.handle(pkt, from)
+		}(pkt, from)
+	}
+}
+
+func (s *Server) handle(pkt []byte, from net.Addr) {
+	// The payload cap is the classic 512 bytes unless the query advertises
+	// a larger EDNS0 buffer.
+	maxSize := dnswire.MaxUDPPayload
+	if query, err := dnswire.Unpack(pkt); err == nil {
+		if size, ok := query.EDNS0UDPSize(); ok {
+			maxSize = min(size, serverEDNSSize)
+		}
+	}
+	wire := buildResponse(s.backend, s.registry, pkt, from, maxSize, true)
+	if wire == nil {
+		return
+	}
+	_, _ = s.pc.WriteTo(wire, from)
+}
+
+// serverEDNSSize is the largest UDP payload this server is willing to send.
+const serverEDNSSize = 4096
+
+// buildResponse parses one query and produces the wire response, or nil for
+// datagrams that should be dropped (garbage, non-queries). overUDP controls
+// truncation behaviour: TCP responses are never truncated.
+func buildResponse(backend Backend, registry *Registry, pkt []byte, from net.Addr, maxSize int, overUDP bool) []byte {
+	query, err := dnswire.Unpack(pkt)
+	if err != nil || query.Response || len(query.Questions) != 1 {
+		// Unparseable or non-query messages are dropped, matching common
+		// authoritative-server behaviour for garbage input.
+		return nil
+	}
+
+	resp := &dnswire.Message{
+		Header: dnswire.Header{
+			ID:               query.ID,
+			Response:         true,
+			OpCode:           query.OpCode,
+			Authoritative:    true,
+			RecursionDesired: query.RecursionDesired,
+		},
+		Questions: query.Questions,
+	}
+	if query.OpCode != dnswire.OpQuery {
+		resp.RCode = dnswire.RCodeNotImp
+	} else {
+		ldns := UnknownLDNS
+		if registry != nil {
+			ldns = registry.Lookup(from)
+		}
+		answers, rcode := backend.Answer(query.Questions[0], ldns)
+		resp.Answers = answers
+		resp.RCode = rcode
+	}
+	// Echo EDNS0 support with the server's own buffer size.
+	if _, ok := query.EDNS0UDPSize(); ok {
+		resp.SetEDNS0(serverEDNSSize)
+	}
+
+	wire, err := resp.Pack()
+	if err != nil {
+		resp.Answers = nil
+		resp.RCode = dnswire.RCodeServFail
+		if wire, err = resp.Pack(); err != nil {
+			return nil
+		}
+	}
+	// UDP truncation: drop answers and set TC if oversized; the client will
+	// retry over TCP.
+	if overUDP && len(wire) > maxSize {
+		resp.Answers = nil
+		resp.Truncated = true
+		if wire, err = resp.Pack(); err != nil {
+			return nil
+		}
+	}
+	return wire
+}

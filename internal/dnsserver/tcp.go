@@ -1,0 +1,152 @@
+package dnsserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPServer serves the same backend over DNS-over-TCP (RFC 1035 §4.2.2:
+// each message is preceded by a 2-byte length). Clients fall back to it when
+// a UDP response is truncated.
+type TCPServer struct {
+	l        net.Listener
+	backend  Backend
+	registry *Registry
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// tcpIdleTimeout bounds how long an idle TCP connection is kept open.
+const tcpIdleTimeout = 30 * time.Second
+
+// ServeTCP starts answering DNS-over-TCP queries on l. The server owns l
+// after this call and closes it in Close.
+func ServeTCP(l net.Listener, backend Backend, registry *Registry) (*TCPServer, error) {
+	if l == nil {
+		return nil, errors.New("dnsserver: nil Listener")
+	}
+	if backend == nil {
+		return nil, errors.New("dnsserver: nil Backend")
+	}
+	s := &TCPServer{
+		l:        l,
+		backend:  backend,
+		registry: registry,
+		closed:   make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *TCPServer) Addr() net.Addr { return s.l.Addr() }
+
+// Close stops the server, closes open connections and waits for handlers.
+func (s *TCPServer) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.l.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout)); err != nil {
+			return
+		}
+		msg, err := readTCPMessage(conn)
+		if err != nil {
+			return
+		}
+		// TCP responses are not truncated; the only practical bound is the
+		// 16-bit length prefix.
+		wire := buildResponse(s.backend, s.registry, msg, conn.RemoteAddr(), 0xFFFF, false)
+		if wire == nil {
+			return // garbage on a stream is fatal for the connection
+		}
+		if err := writeTCPMessage(conn, wire); err != nil {
+			return
+		}
+	}
+}
+
+// readTCPMessage reads one length-prefixed DNS message.
+func readTCPMessage(r io.Reader) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	if n == 0 {
+		return nil, errors.New("dnsserver: zero-length TCP message")
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// writeTCPMessage writes one length-prefixed DNS message.
+func writeTCPMessage(w io.Writer, msg []byte) error {
+	if len(msg) > 0xFFFF {
+		return errors.New("dnsserver: TCP message exceeds 65535 bytes")
+	}
+	buf := make([]byte, 2+len(msg))
+	binary.BigEndian.PutUint16(buf, uint16(len(msg)))
+	copy(buf[2:], msg)
+	_, err := w.Write(buf)
+	return err
+}

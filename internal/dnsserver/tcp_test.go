@@ -1,0 +1,262 @@
+package dnsserver
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/netsim"
+)
+
+// bulkBackend answers every A query with a configurable number of records —
+// enough to overflow the classic 512-byte UDP limit and force truncation.
+type bulkBackend struct {
+	records int
+
+	mu       sync.Mutex
+	lastLDNS netsim.HostID
+}
+
+func (b *bulkBackend) last() netsim.HostID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastLDNS
+}
+
+func (b *bulkBackend) Answer(q dnswire.Question, ldns netsim.HostID) ([]dnswire.Record, dnswire.RCode) {
+	b.mu.Lock()
+	b.lastLDNS = ldns
+	b.mu.Unlock()
+	out := make([]dnswire.Record, b.records)
+	for i := range out {
+		out[i] = dnswire.Record{
+			Name: q.Name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 20,
+			Data: &dnswire.ARecord{Addr: addrFromInt(i)},
+		}
+	}
+	return out, dnswire.RCodeNoError
+}
+
+func addrFromInt(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 9, byte(i >> 8), byte(i)})
+}
+
+// startBoth starts a UDP and a TCP server on the same port.
+func startBoth(t *testing.T, backend Backend, registry *Registry) (*Server, *TCPServer) {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := pc.LocalAddr().(*net.UDPAddr).Port
+	l, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", port))
+	if err != nil {
+		pc.Close()
+		t.Fatal(err)
+	}
+	udp, err := Serve(pc, backend, registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := ServeTCP(l, backend, registry)
+	if err != nil {
+		udp.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		udp.Close()
+		tcp.Close()
+	})
+	return udp, tcp
+}
+
+func TestTruncationAndTCPFallback(t *testing.T) {
+	backend := &bulkBackend{records: 60} // ~60*16 bytes of answers >> 512
+	registry := NewRegistry()
+	udp, _ := startBoth(t, backend, registry)
+
+	client, err := NewClient(udp.Addr(), registry, 7, WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	resp, err := client.Query("bulk.sim.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if resp.Truncated {
+		t.Fatal("client surfaced a truncated response instead of falling back to TCP")
+	}
+	if len(resp.Answers) != 60 {
+		t.Fatalf("got %d answers over TCP fallback, want 60", len(resp.Answers))
+	}
+	// The TCP path preserved the client's LDNS identity.
+	if got := backend.last(); got != 7 {
+		t.Errorf("TCP query attributed to LDNS %d, want 7", got)
+	}
+}
+
+func TestTruncationSurfacesWithoutFallback(t *testing.T) {
+	backend := &bulkBackend{records: 60}
+	udp, _ := startBoth(t, backend, nil)
+
+	client, err := NewClient(udp.Addr(), nil, UnknownLDNS,
+		WithTimeout(time.Second), WithTCPFallback(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	resp, err := client.Query("bulk.sim.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Error("expected a truncated response with fallback disabled")
+	}
+	if len(resp.Answers) != 0 {
+		t.Errorf("truncated response carries %d answers", len(resp.Answers))
+	}
+}
+
+func TestEDNS0AvoidsTruncation(t *testing.T) {
+	backend := &bulkBackend{records: 60}
+	udp, _ := startBoth(t, backend, nil)
+
+	client, err := NewClient(udp.Addr(), nil, UnknownLDNS,
+		WithTimeout(time.Second), WithEDNS0(4096), WithTCPFallback(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	resp, err := client.Query("bulk.sim.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated {
+		t.Fatal("response truncated despite EDNS0 buffer")
+	}
+	if len(resp.Answers) != 60 {
+		t.Fatalf("got %d answers, want 60", len(resp.Answers))
+	}
+	if size, ok := resp.EDNS0UDPSize(); !ok || size != serverEDNSSize {
+		t.Errorf("server echoed EDNS size %d,%v; want %d", size, ok, serverEDNSSize)
+	}
+}
+
+func TestEDNS0CapRespectsClientBuffer(t *testing.T) {
+	// 60 records ≈ 1 KB; a client advertising 600 bytes must still get TC.
+	backend := &bulkBackend{records: 60}
+	udp, _ := startBoth(t, backend, nil)
+
+	client, err := NewClient(udp.Addr(), nil, UnknownLDNS,
+		WithTimeout(time.Second), WithEDNS0(600), WithTCPFallback(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	resp, err := client.Query("bulk.sim.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Error("expected truncation for a response above the advertised buffer")
+	}
+}
+
+func TestTCPServerDirectQueries(t *testing.T) {
+	backend := &bulkBackend{records: 2}
+	_, tcp := startBoth(t, backend, nil)
+
+	conn, err := net.Dial("tcp", tcp.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	msg := &dnswire.Message{
+		Header:    dnswire.Header{ID: 42},
+		Questions: []dnswire.Question{{Name: "x.sim.", Type: dnswire.TypeA, Class: dnswire.ClassIN}},
+	}
+	wire, err := msg.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two sequential queries on one connection.
+	for round := 0; round < 2; round++ {
+		if err := writeTCPMessage(conn, wire); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := readTCPMessage(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := dnswire.Unpack(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != 42 || len(resp.Answers) != 2 {
+			t.Fatalf("round %d: bad response %+v", round, resp.Header)
+		}
+	}
+}
+
+func TestTCPServerDropsGarbageConnection(t *testing.T) {
+	backend := &bulkBackend{records: 1}
+	_, tcp := startBoth(t, backend, nil)
+
+	conn, err := net.Dial("tcp", tcp.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A length prefix promising garbage.
+	if err := writeTCPMessage(conn, []byte{0xFF, 0x00, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("server answered a garbage message instead of closing")
+	}
+}
+
+func TestTCPServerCloseIdempotent(t *testing.T) {
+	backend := &bulkBackend{records: 1}
+	_, tcp := startBoth(t, backend, nil)
+	if err := tcp.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := tcp.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestServeTCPValidation(t *testing.T) {
+	if _, err := ServeTCP(nil, &bulkBackend{}, nil); err == nil {
+		t.Error("ServeTCP(nil listener) should fail")
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := ServeTCP(l, nil, nil); err == nil {
+		t.Error("ServeTCP(nil backend) should fail")
+	}
+}
+
+func TestWriteTCPMessageTooLarge(t *testing.T) {
+	if err := writeTCPMessage(nil, make([]byte, 0x10000)); err == nil {
+		t.Error("oversized message should fail before writing")
+	}
+}

@@ -1,0 +1,88 @@
+package dnswire
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Additional RR types beyond the core set: AAAA and PTR payloads, and the
+// EDNS0 OPT pseudo-record (RFC 6891) that negotiates larger UDP payloads —
+// without it every response over 512 bytes must truncate and force a TCP
+// retry.
+
+// Extended RR types.
+const (
+	TypeAAAA Type = 28
+	TypeOPT  Type = 41
+	TypePTR  Type = 12
+)
+
+// AAAARecord is an IPv6 address record payload.
+type AAAARecord struct {
+	Addr netip.Addr
+}
+
+func (a *AAAARecord) recordType() Type { return TypeAAAA }
+func (a *AAAARecord) String() string   { return a.Addr.String() }
+
+func (a *AAAARecord) pack(p *packer) error {
+	if !a.Addr.Is6() || a.Addr.Is4In6() {
+		return fmt.Errorf("dnswire: AAAA record address %v is not IPv6", a.Addr)
+	}
+	b := a.Addr.As16()
+	p.bytes(b[:])
+	return nil
+}
+
+// PTRRecord is a pointer record payload (reverse lookups).
+type PTRRecord struct {
+	Target string
+}
+
+func (r *PTRRecord) recordType() Type { return TypePTR }
+func (r *PTRRecord) String() string   { return r.Target }
+func (r *PTRRecord) pack(p *packer) error {
+	return p.name(r.Target)
+}
+
+// OPTRecord is the EDNS0 pseudo-record. Only the UDP payload size is
+// modelled (it rides in the record's CLASS field on the wire); options are
+// not supported and unpack to an empty record.
+type OPTRecord struct{}
+
+func (o *OPTRecord) recordType() Type     { return TypeOPT }
+func (o *OPTRecord) String() string       { return "OPT" }
+func (o *OPTRecord) pack(p *packer) error { return nil }
+
+// SetEDNS0 adds (or replaces) the OPT pseudo-record advertising the given
+// maximum UDP payload size.
+func (m *Message) SetEDNS0(udpSize uint16) {
+	for i, r := range m.Additional {
+		if r.Type == TypeOPT {
+			m.Additional[i].Class = Class(udpSize)
+			return
+		}
+	}
+	m.Additional = append(m.Additional, Record{
+		Name:  ".",
+		Type:  TypeOPT,
+		Class: Class(udpSize),
+		Data:  &OPTRecord{},
+	})
+}
+
+// EDNS0UDPSize returns the UDP payload size advertised by the message's OPT
+// record, or (0, false) if the message carries none. Sizes below the classic
+// 512-byte limit are rounded up to it, per RFC 6891.
+func (m *Message) EDNS0UDPSize() (int, bool) {
+	for _, r := range m.Additional {
+		if r.Type == TypeOPT {
+			size := int(r.Class)
+			if size < MaxUDPPayload {
+				size = MaxUDPPayload
+			}
+			return size, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,95 @@
+package dnswire
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+func TestRoundTripAAAAAndPTR(t *testing.T) {
+	records := []Record{
+		{Name: "v6.example.", Type: TypeAAAA, Class: ClassIN, TTL: 30,
+			Data: &AAAARecord{Addr: netip.MustParseAddr("2001:db8::42")}},
+		{Name: "1.2.3.10.in-addr.arpa.", Type: TypePTR, Class: ClassIN, TTL: 60,
+			Data: &PTRRecord{Target: "host.example."}},
+	}
+	for _, r := range records {
+		t.Run(r.Type.String(), func(t *testing.T) {
+			m := &Message{Header: Header{ID: 5, Response: true}, Answers: []Record{r}}
+			wire, err := m.Pack()
+			if err != nil {
+				t.Fatalf("Pack: %v", err)
+			}
+			got, err := Unpack(wire)
+			if err != nil {
+				t.Fatalf("Unpack: %v", err)
+			}
+			if !reflect.DeepEqual(m.Answers, got.Answers) {
+				t.Errorf("round trip mismatch:\nin:  %+v\nout: %+v", m.Answers[0], got.Answers[0])
+			}
+		})
+	}
+}
+
+func TestAAAARejectsIPv4(t *testing.T) {
+	m := &Message{Answers: []Record{{
+		Name: "x.example.", Type: TypeAAAA, Class: ClassIN,
+		Data: &AAAARecord{Addr: netip.MustParseAddr("192.0.2.1")},
+	}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("Pack should reject an IPv4 address in an AAAA record")
+	}
+}
+
+func TestSetEDNS0RoundTrip(t *testing.T) {
+	m := &Message{
+		Questions: []Question{{Name: "example.com.", Type: TypeA, Class: ClassIN}},
+	}
+	m.SetEDNS0(4096)
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	size, ok := got.EDNS0UDPSize()
+	if !ok || size != 4096 {
+		t.Errorf("EDNS0UDPSize = %d,%v; want 4096,true", size, ok)
+	}
+}
+
+func TestSetEDNS0Replaces(t *testing.T) {
+	m := &Message{}
+	m.SetEDNS0(1232)
+	m.SetEDNS0(4096)
+	if len(m.Additional) != 1 {
+		t.Fatalf("SetEDNS0 twice left %d additional records", len(m.Additional))
+	}
+	if size, _ := m.EDNS0UDPSize(); size != 4096 {
+		t.Errorf("size = %d, want 4096", size)
+	}
+}
+
+func TestEDNS0SizeFloor(t *testing.T) {
+	m := &Message{}
+	m.SetEDNS0(100) // below the classic limit
+	size, ok := m.EDNS0UDPSize()
+	if !ok || size != MaxUDPPayload {
+		t.Errorf("EDNS0UDPSize = %d,%v; want floor of %d", size, ok, MaxUDPPayload)
+	}
+}
+
+func TestEDNS0Absent(t *testing.T) {
+	m := &Message{}
+	if _, ok := m.EDNS0UDPSize(); ok {
+		t.Error("message without OPT reported an EDNS0 size")
+	}
+}
+
+func TestExtendedTypeStrings(t *testing.T) {
+	if TypeAAAA.String() != "AAAA" || TypePTR.String() != "PTR" || TypeOPT.String() != "OPT" {
+		t.Error("extended Type.String misbehaves")
+	}
+}

@@ -1,0 +1,176 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// packer accumulates a wire-format message and tracks name offsets for
+// compression.
+type packer struct {
+	buf []byte
+	// offsets maps a lowercase fully-qualified name suffix to the buffer
+	// offset where it was first written, for compression pointers.
+	offsets map[string]int
+}
+
+func newPacker() *packer {
+	return &packer{
+		buf:     make([]byte, 0, 512),
+		offsets: make(map[string]int),
+	}
+}
+
+func (p *packer) uint8(v uint8)   { p.buf = append(p.buf, v) }
+func (p *packer) uint16(v uint16) { p.buf = binary.BigEndian.AppendUint16(p.buf, v) }
+func (p *packer) uint32(v uint32) { p.buf = binary.BigEndian.AppendUint32(p.buf, v) }
+func (p *packer) bytes(b []byte)  { p.buf = append(p.buf, b...) }
+
+// name appends a possibly-compressed domain name. For each suffix of the
+// name already present in the message, a 2-byte pointer is emitted instead
+// of the remaining labels.
+func (p *packer) name(name string) error {
+	labels, err := splitName(name)
+	if err != nil {
+		return err
+	}
+	for i := range labels {
+		suffix := asciiLower(strings.Join(labels[i:], ".")) + "."
+		if off, ok := p.offsets[suffix]; ok {
+			p.uint16(0xC000 | uint16(off))
+			return nil
+		}
+		// Record this suffix's position if it can be addressed by a
+		// 14-bit pointer.
+		if len(p.buf) < 0x4000 {
+			p.offsets[suffix] = len(p.buf)
+		}
+		p.uint8(uint8(len(labels[i])))
+		p.bytes([]byte(labels[i]))
+	}
+	p.uint8(0) // root label
+	return nil
+}
+
+func (a *ARecord) pack(p *packer) error {
+	if !a.Addr.Is4() {
+		return fmt.Errorf("dnswire: A record address %v is not IPv4", a.Addr)
+	}
+	b := a.Addr.As4()
+	p.bytes(b[:])
+	return nil
+}
+
+func (n *NSRecord) pack(p *packer) error    { return p.name(n.Host) }
+func (c *CNAMERecord) pack(p *packer) error { return p.name(c.Target) }
+
+func (t *TXTRecord) pack(p *packer) error {
+	if len(t.Strings) == 0 {
+		return fmt.Errorf("dnswire: TXT record with no strings")
+	}
+	for _, s := range t.Strings {
+		if len(s) > 255 {
+			return fmt.Errorf("dnswire: TXT string exceeds 255 bytes")
+		}
+		p.uint8(uint8(len(s)))
+		p.bytes([]byte(s))
+	}
+	return nil
+}
+
+func (s *SOARecord) pack(p *packer) error {
+	if err := p.name(s.MName); err != nil {
+		return err
+	}
+	if err := p.name(s.RName); err != nil {
+		return err
+	}
+	p.uint32(s.Serial)
+	p.uint32(s.Refresh)
+	p.uint32(s.Retry)
+	p.uint32(s.Expire)
+	p.uint32(s.Minimum)
+	return nil
+}
+
+// Pack encodes the message into wire format.
+func (m *Message) Pack() ([]byte, error) {
+	if len(m.Questions) > 0xFFFF || len(m.Answers) > 0xFFFF ||
+		len(m.Authority) > 0xFFFF || len(m.Additional) > 0xFFFF {
+		return nil, fmt.Errorf("dnswire: section exceeds 65535 entries")
+	}
+	p := newPacker()
+	p.uint16(m.ID)
+	p.uint16(m.flags())
+	p.uint16(uint16(len(m.Questions)))
+	p.uint16(uint16(len(m.Answers)))
+	p.uint16(uint16(len(m.Authority)))
+	p.uint16(uint16(len(m.Additional)))
+
+	for _, q := range m.Questions {
+		if err := p.name(q.Name); err != nil {
+			return nil, fmt.Errorf("question %q: %w", q.Name, err)
+		}
+		p.uint16(uint16(q.Type))
+		p.uint16(uint16(q.Class))
+	}
+	for _, section := range [][]Record{m.Answers, m.Authority, m.Additional} {
+		for _, r := range section {
+			if err := p.record(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p.buf, nil
+}
+
+func (p *packer) record(r Record) error {
+	if r.Data == nil {
+		return fmt.Errorf("dnswire: record %q has no data", r.Name)
+	}
+	if got := r.Data.recordType(); got != r.Type {
+		return fmt.Errorf("dnswire: record %q type %s does not match payload type %s",
+			r.Name, r.Type, got)
+	}
+	if err := p.name(r.Name); err != nil {
+		return fmt.Errorf("record %q: %w", r.Name, err)
+	}
+	p.uint16(uint16(r.Type))
+	p.uint16(uint16(r.Class))
+	p.uint32(r.TTL)
+	// Reserve RDLENGTH, pack RDATA, then patch the length in.
+	lenAt := len(p.buf)
+	p.uint16(0)
+	if err := r.Data.pack(p); err != nil {
+		return fmt.Errorf("record %q: %w", r.Name, err)
+	}
+	rdlen := len(p.buf) - lenAt - 2
+	if rdlen > 0xFFFF {
+		return fmt.Errorf("dnswire: record %q RDATA exceeds 65535 bytes", r.Name)
+	}
+	binary.BigEndian.PutUint16(p.buf[lenAt:], uint16(rdlen))
+	return nil
+}
+
+func (m *Message) flags() uint16 {
+	var f uint16
+	if m.Response {
+		f |= 1 << 15
+	}
+	f |= uint16(m.OpCode&0xF) << 11
+	if m.Authoritative {
+		f |= 1 << 10
+	}
+	if m.Truncated {
+		f |= 1 << 9
+	}
+	if m.RecursionDesired {
+		f |= 1 << 8
+	}
+	if m.RecursionAvailable {
+		f |= 1 << 7
+	}
+	f |= uint16(m.RCode & 0xF)
+	return f
+}

@@ -1,0 +1,276 @@
+// Package dnswire implements the subset of the RFC 1035 DNS wire format the
+// CRP system needs: queries and responses carrying A, NS, CNAME, TXT and SOA
+// records, with full name-compression support on both encode and decode.
+// CRP's deployment interface is ordinary DNS — clients learn their CDN
+// redirections by resolving CDN-accelerated names — so the simulated CDN is
+// served over this codec by internal/dnsserver.
+package dnswire
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Type is a DNS RR type.
+type Type uint16
+
+// Supported RR types.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypeTXT   Type = 16
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypePTR:
+		return "PTR"
+	case TypeOPT:
+		return "OPT"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// Class is a DNS RR class.
+type Class uint16
+
+// ClassIN is the Internet class, the only one in use.
+const ClassIN Class = 1
+
+func (c Class) String() string {
+	if c == ClassIN {
+		return "IN"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// OpCode is a DNS operation code.
+type OpCode uint8
+
+// OpQuery is a standard query.
+const OpQuery OpCode = 0
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+func (r RCode) String() string {
+	switch r {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(r))
+	}
+}
+
+// Header is the fixed 12-byte DNS message header, with the counts implied by
+// the Message's section slices.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	OpCode             OpCode
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// Question is a DNS question-section entry.
+type Question struct {
+	Name  string // fully-qualified, trailing dot
+	Type  Type
+	Class Class
+}
+
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", q.Name, q.Class, q.Type)
+}
+
+// Record is a DNS resource record.
+type Record struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+func (r Record) String() string {
+	return fmt.Sprintf("%s %d %s %s %s", r.Name, r.TTL, r.Class, r.Type, r.Data)
+}
+
+// RData is the typed payload of a resource record.
+type RData interface {
+	fmt.Stringer
+	// recordType returns the RR type this payload belongs to.
+	recordType() Type
+	// pack appends the wire encoding of the payload to p, possibly using
+	// name compression against p's offset table.
+	pack(p *packer) error
+}
+
+// ARecord is an IPv4 address record payload.
+type ARecord struct {
+	Addr netip.Addr
+}
+
+func (a *ARecord) recordType() Type { return TypeA }
+func (a *ARecord) String() string   { return a.Addr.String() }
+
+// NSRecord is a name-server record payload.
+type NSRecord struct {
+	Host string
+}
+
+func (n *NSRecord) recordType() Type { return TypeNS }
+func (n *NSRecord) String() string   { return n.Host }
+
+// CNAMERecord is a canonical-name record payload.
+type CNAMERecord struct {
+	Target string
+}
+
+func (c *CNAMERecord) recordType() Type { return TypeCNAME }
+func (c *CNAMERecord) String() string   { return c.Target }
+
+// TXTRecord is a text record payload.
+type TXTRecord struct {
+	Strings []string
+}
+
+func (t *TXTRecord) recordType() Type { return TypeTXT }
+func (t *TXTRecord) String() string {
+	quoted := make([]string, len(t.Strings))
+	for i, s := range t.Strings {
+		quoted[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(quoted, " ")
+}
+
+// SOARecord is a start-of-authority record payload.
+type SOARecord struct {
+	MName   string
+	RName   string
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+func (s *SOARecord) recordType() Type { return TypeSOA }
+func (s *SOARecord) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d",
+		s.MName, s.RName, s.Serial, s.Refresh, s.Retry, s.Expire, s.Minimum)
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header
+	Questions  []Question
+	Answers    []Record
+	Authority  []Record
+	Additional []Record
+}
+
+// MaxUDPPayload is the classic DNS-over-UDP payload limit.
+const MaxUDPPayload = 512
+
+// maxNameLen and maxLabelLen are the RFC 1035 limits.
+const (
+	maxNameLen  = 255
+	maxLabelLen = 63
+)
+
+// splitName validates name (which must be fully qualified, ending in a dot)
+// and splits it into labels, excluding the trailing empty root label.
+func splitName(name string) ([]string, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dnswire: empty name")
+	}
+	if !strings.HasSuffix(name, ".") {
+		return nil, fmt.Errorf("dnswire: name %q is not fully qualified", name)
+	}
+	if len(name) > maxNameLen {
+		return nil, fmt.Errorf("dnswire: name %q exceeds %d bytes", name, maxNameLen)
+	}
+	if name == "." {
+		return nil, nil
+	}
+	labels := strings.Split(name[:len(name)-1], ".")
+	for _, l := range labels {
+		if l == "" {
+			return nil, fmt.Errorf("dnswire: name %q contains an empty label", name)
+		}
+		if len(l) > maxLabelLen {
+			return nil, fmt.Errorf("dnswire: label %q exceeds %d bytes", l, maxLabelLen)
+		}
+	}
+	return labels, nil
+}
+
+// EqualNames reports whether two fully-qualified names are equal under DNS's
+// case-insensitivity rules, which fold ASCII letters only (RFC 4343) —
+// arbitrary non-ASCII label bytes compare exactly.
+func EqualNames(a, b string) bool {
+	return asciiLower(a) == asciiLower(b)
+}
+
+// asciiLower lowercases ASCII letters and leaves every other byte intact.
+// Unlike strings.ToLower it never rewrites invalid UTF-8 sequences, so
+// distinct label bytes can never be conflated.
+func asciiLower(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

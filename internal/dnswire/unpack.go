@@ -1,0 +1,294 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// unpacker walks a wire-format message.
+type unpacker struct {
+	buf []byte
+	off int
+}
+
+var errShortMessage = fmt.Errorf("dnswire: message truncated")
+
+func (u *unpacker) uint8() (uint8, error) {
+	if u.off+1 > len(u.buf) {
+		return 0, errShortMessage
+	}
+	v := u.buf[u.off]
+	u.off++
+	return v, nil
+}
+
+func (u *unpacker) uint16() (uint16, error) {
+	if u.off+2 > len(u.buf) {
+		return 0, errShortMessage
+	}
+	v := binary.BigEndian.Uint16(u.buf[u.off:])
+	u.off += 2
+	return v, nil
+}
+
+func (u *unpacker) uint32() (uint32, error) {
+	if u.off+4 > len(u.buf) {
+		return 0, errShortMessage
+	}
+	v := binary.BigEndian.Uint32(u.buf[u.off:])
+	u.off += 4
+	return v, nil
+}
+
+func (u *unpacker) bytes(n int) ([]byte, error) {
+	if n < 0 || u.off+n > len(u.buf) {
+		return nil, errShortMessage
+	}
+	b := u.buf[u.off : u.off+n]
+	u.off += n
+	return b, nil
+}
+
+// name decodes a possibly-compressed domain name starting at the current
+// offset. Compression pointers must point strictly backward, which both
+// matches real-world encoders and bounds the walk.
+func (u *unpacker) name() (string, error) {
+	var sb strings.Builder
+	off := u.off
+	jumped := false
+	maxPtr := u.off // pointers must target earlier offsets than this
+	for {
+		if off >= len(u.buf) {
+			return "", errShortMessage
+		}
+		c := u.buf[off]
+		switch {
+		case c == 0:
+			if !jumped {
+				u.off = off + 1
+			}
+			if sb.Len() == 0 {
+				return ".", nil
+			}
+			return sb.String(), nil
+		case c&0xC0 == 0xC0:
+			if off+2 > len(u.buf) {
+				return "", errShortMessage
+			}
+			ptr := int(binary.BigEndian.Uint16(u.buf[off:]) & 0x3FFF)
+			if ptr >= maxPtr {
+				return "", fmt.Errorf("dnswire: compression pointer at %d does not point backward", off)
+			}
+			if !jumped {
+				u.off = off + 2
+				jumped = true
+			}
+			maxPtr = ptr
+			off = ptr
+		case c&0xC0 != 0:
+			return "", fmt.Errorf("dnswire: reserved label type 0x%02x", c&0xC0)
+		default:
+			if off+1+int(c) > len(u.buf) {
+				return "", errShortMessage
+			}
+			// A literal '.' inside a label cannot be represented in the
+			// dotted string form this package uses, so such names are
+			// rejected rather than decoded into something that cannot be
+			// re-encoded.
+			for _, b := range u.buf[off+1 : off+1+int(c)] {
+				if b == '.' {
+					return "", fmt.Errorf("dnswire: label contains a literal dot")
+				}
+			}
+			sb.Write(u.buf[off+1 : off+1+int(c)])
+			sb.WriteByte('.')
+			if sb.Len() > maxNameLen {
+				return "", fmt.Errorf("dnswire: decoded name exceeds %d bytes", maxNameLen)
+			}
+			off += 1 + int(c)
+		}
+	}
+}
+
+// Unpack decodes a wire-format DNS message.
+func Unpack(data []byte) (*Message, error) {
+	u := &unpacker{buf: data}
+	m := &Message{}
+
+	id, err := u.uint16()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := u.uint16()
+	if err != nil {
+		return nil, err
+	}
+	m.ID = id
+	m.Response = flags&(1<<15) != 0
+	m.OpCode = OpCode(flags >> 11 & 0xF)
+	m.Authoritative = flags&(1<<10) != 0
+	m.Truncated = flags&(1<<9) != 0
+	m.RecursionDesired = flags&(1<<8) != 0
+	m.RecursionAvailable = flags&(1<<7) != 0
+	m.RCode = RCode(flags & 0xF)
+
+	var counts [4]uint16
+	for i := range counts {
+		if counts[i], err = u.uint16(); err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < int(counts[0]); i++ {
+		q, err := u.question()
+		if err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		m.Questions = append(m.Questions, q)
+	}
+	sections := []*[]Record{&m.Answers, &m.Authority, &m.Additional}
+	for s, dst := range sections {
+		for i := 0; i < int(counts[s+1]); i++ {
+			r, err := u.record()
+			if err != nil {
+				return nil, fmt.Errorf("section %d record %d: %w", s+1, i, err)
+			}
+			*dst = append(*dst, r)
+		}
+	}
+	if u.off != len(data) {
+		return nil, fmt.Errorf("dnswire: %d trailing bytes", len(data)-u.off)
+	}
+	return m, nil
+}
+
+func (u *unpacker) question() (Question, error) {
+	name, err := u.name()
+	if err != nil {
+		return Question{}, err
+	}
+	typ, err := u.uint16()
+	if err != nil {
+		return Question{}, err
+	}
+	class, err := u.uint16()
+	if err != nil {
+		return Question{}, err
+	}
+	return Question{Name: name, Type: Type(typ), Class: Class(class)}, nil
+}
+
+func (u *unpacker) record() (Record, error) {
+	name, err := u.name()
+	if err != nil {
+		return Record{}, err
+	}
+	typ, err := u.uint16()
+	if err != nil {
+		return Record{}, err
+	}
+	class, err := u.uint16()
+	if err != nil {
+		return Record{}, err
+	}
+	ttl, err := u.uint32()
+	if err != nil {
+		return Record{}, err
+	}
+	rdlen, err := u.uint16()
+	if err != nil {
+		return Record{}, err
+	}
+	end := u.off + int(rdlen)
+	if end > len(u.buf) {
+		return Record{}, errShortMessage
+	}
+	data, err := u.rdata(Type(typ), int(rdlen))
+	if err != nil {
+		return Record{}, err
+	}
+	if u.off != end {
+		return Record{}, fmt.Errorf("dnswire: RDATA length mismatch for %s record", Type(typ))
+	}
+	return Record{Name: name, Type: Type(typ), Class: Class(class), TTL: ttl, Data: data}, nil
+}
+
+func (u *unpacker) rdata(typ Type, rdlen int) (RData, error) {
+	switch typ {
+	case TypeA:
+		b, err := u.bytes(4)
+		if err != nil {
+			return nil, err
+		}
+		return &ARecord{Addr: netip.AddrFrom4([4]byte(b))}, nil
+	case TypeNS:
+		host, err := u.name()
+		if err != nil {
+			return nil, err
+		}
+		return &NSRecord{Host: host}, nil
+	case TypeCNAME:
+		target, err := u.name()
+		if err != nil {
+			return nil, err
+		}
+		return &CNAMERecord{Target: target}, nil
+	case TypeTXT:
+		if rdlen == 0 {
+			// RFC 1035: TXT RDATA is "one or more" character strings.
+			return nil, fmt.Errorf("dnswire: empty TXT record")
+		}
+		end := u.off + rdlen
+		var strs []string
+		for u.off < end {
+			n, err := u.uint8()
+			if err != nil {
+				return nil, err
+			}
+			b, err := u.bytes(int(n))
+			if err != nil {
+				return nil, err
+			}
+			strs = append(strs, string(b))
+		}
+		return &TXTRecord{Strings: strs}, nil
+	case TypeAAAA:
+		b, err := u.bytes(16)
+		if err != nil {
+			return nil, err
+		}
+		return &AAAARecord{Addr: netip.AddrFrom16([16]byte(b))}, nil
+	case TypePTR:
+		target, err := u.name()
+		if err != nil {
+			return nil, err
+		}
+		return &PTRRecord{Target: target}, nil
+	case TypeOPT:
+		// Options are skipped; only the payload size (in CLASS) matters.
+		if _, err := u.bytes(rdlen); err != nil {
+			return nil, err
+		}
+		return &OPTRecord{}, nil
+	case TypeSOA:
+		soa := &SOARecord{}
+		var err error
+		if soa.MName, err = u.name(); err != nil {
+			return nil, err
+		}
+		if soa.RName, err = u.name(); err != nil {
+			return nil, err
+		}
+		fields := []*uint32{&soa.Serial, &soa.Refresh, &soa.Retry, &soa.Expire, &soa.Minimum}
+		for _, f := range fields {
+			if *f, err = u.uint32(); err != nil {
+				return nil, err
+			}
+		}
+		return soa, nil
+	default:
+		return nil, fmt.Errorf("dnswire: unsupported RR type %s", typ)
+	}
+}

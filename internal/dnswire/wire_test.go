@@ -1,0 +1,332 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		Header: Header{
+			ID:                 0x1234,
+			Response:           true,
+			Authoritative:      true,
+			RecursionDesired:   true,
+			RecursionAvailable: true,
+			RCode:              RCodeNoError,
+		},
+		Questions: []Question{
+			{Name: "img.yahoo.cdn.sim.", Type: TypeA, Class: ClassIN},
+		},
+		Answers: []Record{
+			{
+				Name: "img.yahoo.cdn.sim.", Type: TypeCNAME, Class: ClassIN, TTL: 20,
+				Data: &CNAMERecord{Target: "g.cdn.sim."},
+			},
+			{
+				Name: "g.cdn.sim.", Type: TypeA, Class: ClassIN, TTL: 20,
+				Data: &ARecord{Addr: netip.MustParseAddr("10.1.2.3")},
+			},
+			{
+				Name: "g.cdn.sim.", Type: TypeA, Class: ClassIN, TTL: 20,
+				Data: &ARecord{Addr: netip.MustParseAddr("10.1.2.4")},
+			},
+		},
+		Authority: []Record{
+			{
+				Name: "cdn.sim.", Type: TypeNS, Class: ClassIN, TTL: 300,
+				Data: &NSRecord{Host: "ns1.cdn.sim."},
+			},
+		},
+		Additional: []Record{
+			{
+				Name: "ns1.cdn.sim.", Type: TypeA, Class: ClassIN, TTL: 300,
+				Data: &ARecord{Addr: netip.MustParseAddr("10.0.0.1")},
+			},
+		},
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("round trip mismatch:\npacked:   %+v\nunpacked: %+v", m, got)
+	}
+}
+
+func TestPackUsesCompression(t *testing.T) {
+	m := sampleMessage()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	// "cdn.sim." appears in six names; without compression the message would
+	// repeat those 9 bytes each time. Check the packed form contains the
+	// literal labels "cdn" at most twice (once in the question, possibly once
+	// more via a non-suffix position).
+	count := bytes.Count(wire, append([]byte{3}, []byte("cdn")...))
+	if count > 1 {
+		t.Errorf("label \"cdn\" encoded %d times; compression not applied", count)
+	}
+	// And a compressed message must round-trip.
+	if _, err := Unpack(wire); err != nil {
+		t.Fatalf("Unpack compressed: %v", err)
+	}
+}
+
+func TestRoundTripAllRDataTypes(t *testing.T) {
+	records := []Record{
+		{Name: "a.example.", Type: TypeA, Class: ClassIN, TTL: 1,
+			Data: &ARecord{Addr: netip.MustParseAddr("192.0.2.1")}},
+		{Name: "b.example.", Type: TypeNS, Class: ClassIN, TTL: 2,
+			Data: &NSRecord{Host: "ns.b.example."}},
+		{Name: "c.example.", Type: TypeCNAME, Class: ClassIN, TTL: 3,
+			Data: &CNAMERecord{Target: "target.example."}},
+		{Name: "d.example.", Type: TypeTXT, Class: ClassIN, TTL: 4,
+			Data: &TXTRecord{Strings: []string{"hello", "world"}}},
+		{Name: "e.example.", Type: TypeSOA, Class: ClassIN, TTL: 5,
+			Data: &SOARecord{MName: "ns.example.", RName: "admin.example.",
+				Serial: 2026070401, Refresh: 7200, Retry: 600, Expire: 86400, Minimum: 60}},
+	}
+	for _, r := range records {
+		t.Run(r.Type.String(), func(t *testing.T) {
+			m := &Message{Header: Header{ID: 9, Response: true}, Answers: []Record{r}}
+			wire, err := m.Pack()
+			if err != nil {
+				t.Fatalf("Pack: %v", err)
+			}
+			got, err := Unpack(wire)
+			if err != nil {
+				t.Fatalf("Unpack: %v", err)
+			}
+			if !reflect.DeepEqual(m.Answers, got.Answers) {
+				t.Errorf("round trip mismatch:\nin:  %+v\nout: %+v", m.Answers[0], got.Answers[0])
+			}
+		})
+	}
+}
+
+func TestHeaderFlagsRoundTrip(t *testing.T) {
+	f := func(id uint16, resp, aa, tc, rd, ra bool, op, rc uint8) bool {
+		m := &Message{Header: Header{
+			ID: id, Response: resp, Authoritative: aa, Truncated: tc,
+			RecursionDesired: rd, RecursionAvailable: ra,
+			OpCode: OpCode(op & 0xF), RCode: RCode(rc & 0xF),
+		}}
+		wire, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			return false
+		}
+		return got.Header == m.Header
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	long := strings.Repeat("a", 64)
+	tooLongName := strings.Repeat("abcdefg.", 32) + "com."
+	tests := []struct {
+		name    string
+		qname   string
+		wantErr bool
+	}{
+		{"valid", "example.com.", false},
+		{"root", ".", false},
+		{"not fqdn", "example.com", true},
+		{"empty", "", true},
+		{"empty label", "example..com.", true},
+		{"long label", long + ".com.", true},
+		{"name too long", tooLongName, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := &Message{Questions: []Question{{Name: tt.qname, Type: TypeA, Class: ClassIN}}}
+			_, err := m.Pack()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Pack with name %q: err = %v, wantErr %v", tt.qname, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPackRejectsTypeMismatch(t *testing.T) {
+	m := &Message{Answers: []Record{{
+		Name: "x.example.", Type: TypeA, Class: ClassIN,
+		Data: &CNAMERecord{Target: "y.example."},
+	}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("Pack should reject a record whose Type disagrees with its payload")
+	}
+}
+
+func TestPackRejectsNilData(t *testing.T) {
+	m := &Message{Answers: []Record{{Name: "x.example.", Type: TypeA, Class: ClassIN}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("Pack should reject a record with nil data")
+	}
+}
+
+func TestPackRejectsNonIPv4A(t *testing.T) {
+	m := &Message{Answers: []Record{{
+		Name: "x.example.", Type: TypeA, Class: ClassIN,
+		Data: &ARecord{Addr: netip.MustParseAddr("2001:db8::1")},
+	}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("Pack should reject an IPv6 address in an A record")
+	}
+}
+
+func TestUnpackTruncated(t *testing.T) {
+	wire, err := sampleMessage().Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must fail cleanly, never panic.
+	for i := 0; i < len(wire); i++ {
+		if _, err := Unpack(wire[:i]); err == nil {
+			t.Errorf("Unpack of %d-byte prefix should fail", i)
+		}
+	}
+}
+
+func TestUnpackTrailingGarbage(t *testing.T) {
+	wire, err := sampleMessage().Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unpack(append(wire, 0xDE, 0xAD)); err == nil {
+		t.Error("Unpack should reject trailing bytes")
+	}
+}
+
+func TestUnpackPointerLoop(t *testing.T) {
+	// Header: ID 0, flags 0, one question. The question name is a pointer to
+	// itself at offset 12.
+	wire := []byte{
+		0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0xC0, 12, // pointer to offset 12 (itself)
+		0, 1, 0, 1,
+	}
+	if _, err := Unpack(wire); err == nil {
+		t.Error("Unpack should reject a self-referencing compression pointer")
+	}
+}
+
+func TestUnpackForwardPointer(t *testing.T) {
+	wire := []byte{
+		0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0xC0, 20, // pointer beyond the current offset
+		0, 1, 0, 1,
+		1, 'x', 0, 0,
+	}
+	if _, err := Unpack(wire); err == nil {
+		t.Error("Unpack should reject a forward compression pointer")
+	}
+}
+
+func TestUnpackReservedLabelType(t *testing.T) {
+	wire := []byte{
+		0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0x80, 1, // reserved label type 0b10
+		0, 1, 0, 1,
+	}
+	if _, err := Unpack(wire); err == nil {
+		t.Error("Unpack should reject reserved label types")
+	}
+}
+
+func TestUnpackFuzzNoPanics(t *testing.T) {
+	// Deterministic mutation fuzzing: flip bytes of a valid message and make
+	// sure Unpack never panics (errors are fine).
+	wire, err := sampleMessage().Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(wire); i++ {
+		for _, v := range []byte{0x00, 0xFF, 0xC0, wire[i] ^ 0x55} {
+			mut := append([]byte(nil), wire...)
+			mut[i] = v
+			_, _ = Unpack(mut) // must not panic
+		}
+	}
+}
+
+func TestRecordStringFormats(t *testing.T) {
+	r := Record{Name: "g.cdn.sim.", Type: TypeA, Class: ClassIN, TTL: 20,
+		Data: &ARecord{Addr: netip.MustParseAddr("10.1.2.3")}}
+	if got, want := r.String(), "g.cdn.sim. 20 IN A 10.1.2.3"; got != want {
+		t.Errorf("Record.String() = %q, want %q", got, want)
+	}
+	q := Question{Name: "g.cdn.sim.", Type: TypeA, Class: ClassIN}
+	if got, want := q.String(), "g.cdn.sim. IN A"; got != want {
+		t.Errorf("Question.String() = %q, want %q", got, want)
+	}
+	txt := &TXTRecord{Strings: []string{"a b", "c"}}
+	if got, want := txt.String(), `"a b" "c"`; got != want {
+		t.Errorf("TXT.String() = %q, want %q", got, want)
+	}
+}
+
+func TestTypeAndRCodeStrings(t *testing.T) {
+	if TypeA.String() != "A" || TypeCNAME.String() != "CNAME" || Type(99).String() != "TYPE99" {
+		t.Error("Type.String misbehaves")
+	}
+	if RCodeNXDomain.String() != "NXDOMAIN" || RCode(14).String() != "RCODE14" {
+		t.Error("RCode.String misbehaves")
+	}
+	if ClassIN.String() != "IN" || Class(3).String() != "CLASS3" {
+		t.Error("Class.String misbehaves")
+	}
+}
+
+func TestEqualNames(t *testing.T) {
+	if !EqualNames("Example.COM.", "example.com.") {
+		t.Error("EqualNames should be case-insensitive")
+	}
+	if EqualNames("a.example.", "b.example.") {
+		t.Error("EqualNames should distinguish different names")
+	}
+}
+
+func TestCompressionCaseInsensitive(t *testing.T) {
+	// Suffixes differing only in case must share compression entries and
+	// still round-trip with their original spelling preserved in first use.
+	m := &Message{
+		Questions: []Question{{Name: "www.Example.COM.", Type: TypeA, Class: ClassIN}},
+		Answers: []Record{{
+			Name: "www.example.com.", Type: TypeCNAME, Class: ClassIN, TTL: 5,
+			Data: &CNAMERecord{Target: "cdn.example.com."},
+		}},
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	// The answer name was compressed against the question; its decoded
+	// spelling therefore matches the question's original case.
+	if !EqualNames(got.Answers[0].Name, "www.example.com.") {
+		t.Errorf("answer name = %q", got.Answers[0].Name)
+	}
+}

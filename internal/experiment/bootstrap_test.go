@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunBootstrapShape(t *testing.T) {
+	s := testScenario(t)
+	points, err := s.RunBootstrap(BootstrapConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 7 {
+		t.Fatalf("points = %d, want 7 defaults", len(points))
+	}
+	// Quality improves (rank falls) as probes accumulate: the 10-probe
+	// point must be clearly better than the 1-probe point, and close to the
+	// 30-probe point — §VI's "10 probes suffice, ~100-minute bootstrap".
+	byProbes := map[int]BootstrapPoint{}
+	for _, p := range points {
+		byProbes[p.Probes] = p
+		if p.FracWithSignal <= 0 {
+			t.Errorf("no clients with signal at %d probes", p.Probes)
+		}
+	}
+	if byProbes[10].MeanRank > byProbes[1].MeanRank {
+		t.Errorf("10-probe rank %.1f worse than 1-probe %.1f",
+			byProbes[10].MeanRank, byProbes[1].MeanRank)
+	}
+	if byProbes[10].MeanRank > byProbes[30].MeanRank*1.5+2 {
+		t.Errorf("10-probe rank %.1f not close to 30-probe %.1f",
+			byProbes[10].MeanRank, byProbes[30].MeanRank)
+	}
+}
+
+func TestRunBootstrapValidation(t *testing.T) {
+	s := testScenario(t)
+	if _, err := s.RunBootstrap(BootstrapConfig{ProbeCounts: []int{0}}); err == nil {
+		t.Error("zero probe count should fail")
+	}
+	if _, err := s.RunBootstrap(BootstrapConfig{ProbeCounts: []int{-3}}); err == nil {
+		t.Error("negative probe count should fail")
+	}
+}
+
+func TestRenderBootstrap(t *testing.T) {
+	s := testScenario(t)
+	points, err := s.RunBootstrap(BootstrapConfig{ProbeCounts: []int{1, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderBootstrap(points, 10*time.Minute)
+	for _, want := range []string{"bootstrap", "probes", "50m0s", "mean rank"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

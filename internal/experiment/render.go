@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Text renderers: each experiment prints the same rows/series the paper's
+// figure or table reports. Sorted per-client curves are summarized at
+// fixed quantiles so runs are comparable against the published plots.
+
+var seriesQuantiles = []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1}
+
+// quantile reads a quantile from an ascending-sorted series.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := q * float64(len(sorted)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func renderSeriesTable(sb *strings.Builder, header string, rows []struct {
+	label  string
+	series []float64
+}) {
+	fmt.Fprintf(sb, "%-22s", header)
+	for _, q := range seriesQuantiles {
+		fmt.Fprintf(sb, "%8s", fmt.Sprintf("p%g", q*100))
+	}
+	sb.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(sb, "%-22s", r.label)
+		for _, q := range seriesQuantiles {
+			fmt.Fprintf(sb, "%8.1f", quantile(r.series, q))
+		}
+		fmt.Fprintf(sb, "   (n=%d)\n", len(r.series))
+	}
+}
+
+// RenderFig4 prints the average-latency comparison of Fig. 4 plus the §V-A
+// headline statistics.
+func RenderFig4(o *ClosestNodeOutcome) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 4 — closest-node selection: latency to selected server (ms), per-client curves\n")
+	renderSeriesTable(&sb, "series \\ quantile", []struct {
+		label  string
+		series []float64
+	}{
+		{"Meridian", o.SortedSeries(func(r ClientResult) float64 { return r.Meridian })},
+		{"CRP Top1", o.SortedSeries(func(r ClientResult) float64 { return r.CRPTop1 })},
+		{fmt.Sprintf("CRP Top%d", o.Config.TopK), o.SortedSeries(func(r ClientResult) float64 { return r.CRPTopK })},
+		{"Optimal", o.SortedSeries(func(r ClientResult) float64 { return r.Optimal })},
+	})
+	st := o.Stats()
+	fmt.Fprintf(&sb, "clients: %d   CRP Top%d within 7 ms of Meridian: %.0f%%   CRP beats Meridian: %.0f%%   Meridian ≥ 2x CRP: %.0f%%   no CRP signal: %.1f%%\n",
+		st.Clients, o.Config.TopK,
+		100*st.FracTopKNearMeridian, 100*st.FracCRPBeatsMeridian,
+		100*st.FracMeridianTwiceCRP, 100*st.FracNoSignal)
+	fmt.Fprintf(&sb, "mean latency (ms): optimal %.1f   crp-top%d %.1f   crp-top1 %.1f   meridian %.1f\n",
+		st.MeanOptimal, o.Config.TopK, st.MeanCRPTopK, st.MeanCRPTop1, st.MeanMeridian)
+	return sb.String()
+}
+
+// RenderFig5 prints the relative-error curves of Fig. 5 (selected minus
+// optimal RTT).
+func RenderFig5(o *ClosestNodeOutcome) string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 5 — relative error vs optimal selection (ms), per-client curves\n")
+	renderSeriesTable(&sb, "series \\ quantile", []struct {
+		label  string
+		series []float64
+	}{
+		{"Meridian", o.SortedSeries(func(r ClientResult) float64 { return r.Meridian - r.Optimal })},
+		{"CRP Top1", o.SortedSeries(func(r ClientResult) float64 { return r.CRPTop1 - r.Optimal })},
+		{fmt.Sprintf("CRP Top%d", o.Config.TopK), o.SortedSeries(func(r ClientResult) float64 { return r.CRPTopK - r.Optimal })},
+	})
+	return sb.String()
+}
+
+// RenderTable1 prints the clustering summary exactly in Table I's shape.
+func RenderTable1(o *ClusteringOutcome) string {
+	var sb strings.Builder
+	sb.WriteString("Table I — summary statistics for clusters formed by CRP and ASN-based clustering\n")
+	fmt.Fprintf(&sb, "%-14s %10s %10s %10s   [mean, median, max] cluster size\n",
+		"Technique", "# nodes", "% nodes", "# clusters")
+	row := func(r AlgorithmResult) {
+		s := r.Summary
+		fmt.Fprintf(&sb, "%-14s %10d %9.0f%% %10d   [%.2f, %.4g, %d]\n",
+			r.Label, s.NodesClustered, 100*s.FracClustered, s.NumClusters,
+			s.MeanSize, s.MedianSize, s.MaxSize)
+	}
+	for _, r := range o.CRPRows {
+		row(r)
+	}
+	row(o.ASN)
+	return sb.String()
+}
+
+// RenderFig6 prints the intra/inter-cluster distance CDF of Fig. 6 for the
+// focus threshold.
+func RenderFig6(o *ClusteringOutcome) string {
+	focus := o.CRPRows[o.Focus]
+	intra, inter := focus.IntraCDF()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 6 — CDF of intra-cluster distances, %s, clusters with diameter ≤ %g ms\n",
+		focus.Label, o.Config.MaxDiameterMs)
+	fmt.Fprintf(&sb, "%-10s %12s %12s %8s\n", "cluster", "intra (ms)", "inter (ms)", "good")
+	for i := range intra {
+		good := ""
+		if inter[i] > intra[i] {
+			good = "yes"
+		}
+		fmt.Fprintf(&sb, "%-10d %12.1f %12.1f %8s\n", i+1, intra[i], inter[i], good)
+	}
+	fmt.Fprintf(&sb, "good clusters (inter > intra): %.0f%% of %d evaluated\n",
+		100*focus.GoodFraction(), len(focus.Stats))
+	return sb.String()
+}
+
+// RenderFig7 prints the good-cluster bucket counts of Fig. 7.
+func RenderFig7(o *ClusteringOutcome) string {
+	focus := o.CRPRows[o.Focus]
+	var sb strings.Builder
+	sb.WriteString("Fig. 7 — number of good clusters per diameter bucket\n")
+	fmt.Fprintf(&sb, "%-16s %10s %10s\n", "algorithm", "0-25 ms", "25-75 ms")
+	fmt.Fprintf(&sb, "%-16s %10d %10d\n", "CRP", focus.GoodBuckets[0], focus.GoodBuckets[1])
+	fmt.Fprintf(&sb, "%-16s %10d %10d\n", "ASN", o.ASN.GoodBuckets[0], o.ASN.GoodBuckets[1])
+	return sb.String()
+}
+
+// RenderRankSeries prints Fig. 8 or Fig. 9: average-rank curves per
+// configuration.
+func RenderRankSeries(title string, series []RankSeries) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	rows := make([]struct {
+		label  string
+		series []float64
+	}, len(series))
+	for i, s := range series {
+		rows[i].label = s.Label
+		rows[i].series = s.AvgRanks
+	}
+	renderSeriesTable(&sb, "series \\ quantile", rows)
+	for _, s := range series {
+		fmt.Fprintf(&sb, "%-22s mean rank %.1f, %d/%d clients with signal\n",
+			s.Label, s.Mean(), s.ClientsWithSignal, s.ClientsTotal)
+	}
+	return sb.String()
+}
+
+// RenderSimilarityAblation prints the similarity-metric ablation.
+func RenderSimilarityAblation(rows []SimilarityAblationRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — similarity metric for closest-node selection\n")
+	fmt.Fprintf(&sb, "%-16s %14s %12s\n", "metric", "mean RTT (ms)", "mean rank")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %14.1f %12.1f\n", r.Label, r.MeanRTT, r.MeanRank)
+	}
+	return sb.String()
+}
+
+// RenderCoverageSweep prints the CDN-coverage ablation.
+func RenderCoverageSweep(points []CoveragePoint) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — CRP quality vs CDN deployment size\n")
+	fmt.Fprintf(&sb, "%10s %16s %14s %12s\n", "replicas", "crp topK (ms)", "optimal (ms)", "no signal")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%10d %16.1f %14.1f %11.1f%%\n",
+			p.Replicas, p.MeanCRPTopK, p.MeanOptimal, 100*p.FracNoSignal)
+	}
+	return sb.String()
+}
+
+// RenderCenterAblation prints the SMF-vs-random-centers ablation.
+func RenderCenterAblation(rows []CenterAblationRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — SMF centers vs random centers\n")
+	fmt.Fprintf(&sb, "%-16s %10s %10s %12s %12s\n", "policy", "# nodes", "# clusters", "good 0-25", "good 25-75")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %10d %10d %12d %12d\n",
+			r.Label, r.Summary.NodesClustered, r.Summary.NumClusters,
+			r.GoodBuckets[0], r.GoodBuckets[1])
+	}
+	return sb.String()
+}
+
+// RenderBaselineComparison prints the all-baselines comparison.
+func RenderBaselineComparison(rows []BaselineRow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — selection baselines, mean latency to selected server\n")
+	fmt.Fprintf(&sb, "%-16s %14s\n", "system", "mean RTT (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-16s %14.1f\n", r.Label, r.MeanRTT)
+	}
+	return sb.String()
+}

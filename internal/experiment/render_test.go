@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSimilarityAblationOutput(t *testing.T) {
+	out := RenderSimilarityAblation([]SimilarityAblationRow{
+		{Label: "cosine", MeanRTT: 25.4, MeanRank: 4.5},
+		{Label: "jaccard", MeanRTT: 25.7, MeanRank: 4.3},
+	})
+	for _, want := range []string{"similarity metric", "cosine", "jaccard", "25.4", "4.3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCoverageSweepOutput(t *testing.T) {
+	out := RenderCoverageSweep([]CoveragePoint{
+		{Replicas: 150, MeanCRPTopK: 35.3, MeanOptimal: 20.2, FracNoSignal: 0},
+		{Replicas: 1200, MeanCRPTopK: 50.6, MeanOptimal: 22.1, FracNoSignal: 0.002},
+	})
+	for _, want := range []string{"CDN deployment size", "150", "1200", "50.6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCenterAblationOutput(t *testing.T) {
+	out := RenderCenterAblation([]CenterAblationRow{
+		{Label: "SMF centers", GoodBuckets: []int{17, 28}},
+		{Label: "random centers", GoodBuckets: []int{6, 21}},
+	})
+	for _, want := range []string{"SMF centers", "random centers", "17", "21"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderBaselineComparisonOutput(t *testing.T) {
+	out := RenderBaselineComparison([]BaselineRow{
+		{Label: "optimal", MeanRTT: 20.1},
+		{Label: "vivaldi", MeanRTT: 85.5},
+	})
+	for _, want := range []string{"selection baselines", "optimal", "vivaldi", "85.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderRankSeriesEmpty(t *testing.T) {
+	out := RenderRankSeries("Fig. X", []RankSeries{{Label: "empty", ClientsTotal: 10}})
+	if !strings.Contains(out, "0/10 clients with signal") {
+		t.Errorf("empty series not reported:\n%s", out)
+	}
+}

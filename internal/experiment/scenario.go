@@ -1,0 +1,239 @@
+// Package experiment reproduces the CRP paper's evaluation (§V–§VI): the
+// closest-node selection comparison against Meridian (Figs. 4–5), the
+// clustering study against ASN-based clustering (Table I, Figs. 6–7), the
+// probe-interval and window-size sensitivity studies (Figs. 8–9), and this
+// repository's additional ablations. It wires the substrates together:
+// topology and latency model (netsim), CDN redirections (cdn), Meridian and
+// Vivaldi baselines, ASN clustering, King ground truth, and the public crp
+// package under evaluation.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/crp"
+	"repro/internal/cdn"
+	"repro/internal/meridian"
+	"repro/internal/netsim"
+)
+
+// ScenarioParams sizes an evaluation scenario. The defaults mirror the
+// paper: 1,000 client DNS servers, 240 consistently-active candidate
+// (PlanetLab) servers, and a CDN deployment with realistic coverage skew.
+type ScenarioParams struct {
+	Seed          int64
+	NumClients    int
+	NumCandidates int
+	NumReplicas   int
+	// MeridianFailures enables the PlanetLab pathologies the paper observed
+	// (self-recommending bootstrappers, nodes that never join, partitioned
+	// sites).
+	MeridianFailures bool
+	// KeepFallbackAnswers disables the paper's §VI filtering rule. By
+	// default, redirections to the CDN's distant global-default servers
+	// (Akamai's "owned-domain" answers) are dropped from ratio maps, since
+	// they carry no positioning information and create spurious similarity
+	// between far-apart hosts.
+	KeepFallbackAnswers bool
+}
+
+// DefaultScenarioParams returns the paper-scale configuration.
+func DefaultScenarioParams() ScenarioParams {
+	return ScenarioParams{
+		Seed:             1,
+		NumClients:       1000,
+		NumCandidates:    240,
+		NumReplicas:      600,
+		MeridianFailures: true,
+	}
+}
+
+// Scenario is a fully built evaluation environment.
+type Scenario struct {
+	Params     ScenarioParams
+	Topo       *netsim.Topology
+	CDN        *cdn.Network
+	Meridian   *meridian.Overlay
+	Clients    []netsim.HostID
+	Candidates []netsim.HostID
+
+	// epoch anchors the conversion between the simulator's virtual
+	// durations and the wall-clock time.Time values the public crp API uses.
+	epoch time.Time
+}
+
+// Failure-injection rates matching the handful of pathological nodes the
+// paper reports among 240 members.
+const (
+	meridianSelfishFraction = 0.02
+	meridianDeadFraction    = 0.015
+	meridianPartitionPairs  = 2
+)
+
+// NewScenario generates the topology, deploys the CDN and builds the
+// Meridian overlay, deterministically in p.Seed.
+func NewScenario(p ScenarioParams) (*Scenario, error) {
+	tp := netsim.DefaultParams()
+	tp.Seed = p.Seed
+	if p.NumClients > 0 {
+		tp.NumClients = p.NumClients
+	}
+	if p.NumCandidates > 0 {
+		tp.NumCandidates = p.NumCandidates
+	}
+	if p.NumReplicas > 0 {
+		tp.NumReplicas = p.NumReplicas
+	}
+	topo, err := netsim.Generate(tp)
+	if err != nil {
+		return nil, fmt.Errorf("generate topology: %w", err)
+	}
+	network, err := cdn.New(cdn.Config{Topo: topo})
+	if err != nil {
+		return nil, fmt.Errorf("deploy cdn: %w", err)
+	}
+	mcfg := meridian.Config{Topo: topo, Members: topo.Candidates(), Seed: p.Seed}
+	if p.MeridianFailures {
+		mcfg.SelfishFraction = meridianSelfishFraction
+		mcfg.DeadFraction = meridianDeadFraction
+		mcfg.PartitionPairs = meridianPartitionPairs
+	}
+	overlay, err := meridian.Build(mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("build meridian overlay: %w", err)
+	}
+	return &Scenario{
+		Params:     p,
+		Topo:       topo,
+		CDN:        network,
+		Meridian:   overlay,
+		Clients:    topo.Clients(),
+		Candidates: topo.Candidates(),
+		epoch:      time.Date(2006, 11, 12, 0, 0, 0, 0, time.UTC), // paper's first day
+	}, nil
+}
+
+// NodeID returns the crp node identity of a host (its DNS name).
+func (s *Scenario) NodeID(id netsim.HostID) crp.NodeID {
+	return crp.NodeID(s.Topo.Host(id).Name)
+}
+
+// HostOf resolves a crp node identity back to its host.
+func (s *Scenario) HostOf(node crp.NodeID) (netsim.HostID, bool) {
+	return s.Topo.HostByName(string(node))
+}
+
+// ReplicaID returns the crp replica identity of a replica host.
+func (s *Scenario) ReplicaID(id netsim.HostID) crp.ReplicaID {
+	return crp.ReplicaID(s.Topo.Host(id).Name)
+}
+
+// At converts a virtual duration to the wall-clock time.Time used by the
+// public crp API.
+func (s *Scenario) At(d time.Duration) time.Time { return s.epoch.Add(d) }
+
+// ProbeSchedule describes how a host's redirection history is collected.
+type ProbeSchedule struct {
+	Start    time.Duration // virtual time of the first probe
+	Interval time.Duration // time between probes
+	Probes   int           // number of probes
+	Window   int           // tracker window in probes; 0 = all probes
+}
+
+// Validate checks the schedule.
+func (ps ProbeSchedule) Validate() error {
+	if ps.Interval <= 0 {
+		return errors.New("experiment: probe interval must be positive")
+	}
+	if ps.Probes <= 0 {
+		return errors.New("experiment: probe count must be positive")
+	}
+	return nil
+}
+
+// End returns the virtual time just after the last probe.
+func (ps ProbeSchedule) End() time.Duration {
+	return ps.Start + time.Duration(ps.Probes-1)*ps.Interval
+}
+
+// CollectTracker probes the CDN on the host's behalf according to the
+// schedule and returns the populated tracker. Each probe resolves every CDN
+// name once (the paper drives CRP with two Akamai-hosted names), and each
+// resolution is recorded as one tracker probe.
+func (s *Scenario) CollectTracker(host netsim.HostID, ps ProbeSchedule) (*crp.Tracker, error) {
+	if err := ps.Validate(); err != nil {
+		return nil, err
+	}
+	var opts []crp.TrackerOption
+	if ps.Window > 0 {
+		// Each probe step resolves all names; size the window in steps.
+		opts = append(opts, crp.WithWindow(ps.Window*len(s.CDN.Names())))
+	}
+	tr := crp.NewTracker(opts...)
+	if err := s.probeInto(tr, host, ps); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// probeInto records the schedule's probes into an existing tracker.
+func (s *Scenario) probeInto(tr *crp.Tracker, host netsim.HostID, ps ProbeSchedule) error {
+	for i := 0; i < ps.Probes; i++ {
+		at := ps.Start + time.Duration(i)*ps.Interval
+		for _, name := range s.CDN.Names() {
+			ids, err := s.lookup(name, host, at)
+			if err != nil {
+				return err
+			}
+			tr.Observe(s.At(at), ids...)
+		}
+	}
+	return nil
+}
+
+// lookup resolves one CDN name for a host and applies the fallback filter,
+// returning the replica identities worth tracking (possibly none).
+func (s *Scenario) lookup(name string, host netsim.HostID, at time.Duration) ([]crp.ReplicaID, error) {
+	replicas, err := s.CDN.Redirect(name, host, at)
+	if err != nil {
+		return nil, fmt.Errorf("redirect %q for host %d: %w", name, host, err)
+	}
+	ids := make([]crp.ReplicaID, 0, len(replicas))
+	for _, r := range replicas {
+		if !s.Params.KeepFallbackAnswers && s.CDN.IsFallback(r) {
+			continue
+		}
+		ids = append(ids, s.ReplicaID(r))
+	}
+	return ids, nil
+}
+
+// CollectRatioMaps collects ratio maps for a set of hosts under one
+// schedule.
+func (s *Scenario) CollectRatioMaps(hosts []netsim.HostID, ps ProbeSchedule) (map[netsim.HostID]crp.RatioMap, error) {
+	out := make(map[netsim.HostID]crp.RatioMap, len(hosts))
+	for _, h := range hosts {
+		tr, err := s.CollectTracker(h, ps)
+		if err != nil {
+			return nil, err
+		}
+		out[h] = tr.RatioMap()
+	}
+	return out, nil
+}
+
+// TruthRTTMs returns the experiment's ground-truth RTT between two hosts at
+// virtual time at: the mean of several closely spaced true RTT samples,
+// smoothing out single-instant congestion spikes the way the paper's
+// repeated King measurements do.
+func (s *Scenario) TruthRTTMs(a, b netsim.HostID, at time.Duration) float64 {
+	const samples = 3
+	const spacing = 2 * time.Minute
+	sum := 0.0
+	for i := 0; i < samples; i++ {
+		sum += s.Topo.RTTMs(a, b, at+time.Duration(i)*spacing)
+	}
+	return sum / samples
+}

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunClusterStabilityShape(t *testing.T) {
+	s := testScenario(t)
+	out, err := s.RunClusterStability(StabilityConfig{
+		NumNodes: 80,
+		Window:   12 * time.Hour,
+		Gap:      12 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ClustersDay1 == 0 || out.ClustersDay2 == 0 {
+		t.Fatalf("degenerate clusterings: %+v", out)
+	}
+	// Clusters are driven by stable geography, so assignments should agree
+	// on the overwhelming majority of pairs and retain most co-memberships.
+	if out.PairAgreement < 0.9 {
+		t.Errorf("pairwise agreement %.2f; clusters not stable", out.PairAgreement)
+	}
+	// Roughly half of co-memberships persist across windows in this model
+	// (SMF boundary churn); see EXPERIMENTS.md. Guard against collapse.
+	if out.SameClusterRetained < 0.3 {
+		t.Errorf("only %.0f%% of same-cluster pairs retained", 100*out.SameClusterRetained)
+	}
+}
+
+func TestRunClusterStabilityValidation(t *testing.T) {
+	s := testScenario(t)
+	if _, err := s.RunClusterStability(StabilityConfig{NumNodes: 10_000}); err == nil {
+		t.Error("too many nodes should fail")
+	}
+}
+
+func TestRenderClusterStability(t *testing.T) {
+	out := RenderClusterStability(&StabilityOutcome{
+		PairAgreement: 0.97, SameClusterRetained: 0.8, ClustersDay1: 30, ClustersDay2: 31,
+	})
+	for _, want := range []string{"stability", "97%", "80%", "30"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package king implements the King latency-estimation technique (Gummadi et
+// al., IMW 2002), which the CRP paper uses to collect "ground-truth" RTTs
+// between its evaluation hosts. King estimates the RTT between two hosts A
+// and B as the difference between (a) a recursive DNS query issued to A's
+// nameserver that must be forwarded to B's nameserver and (b) a direct query
+// answered by A's nameserver alone. In the paper's methodology the client
+// hosts are themselves DNS servers, so the estimate approaches RTT(A, B)
+// directly.
+package king
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dnsserver"
+	"repro/internal/netsim"
+)
+
+// DefaultSamples is how many query pairs an estimate aggregates. King's
+// accuracy depends on repeating the measurement and taking a low quantile,
+// since queueing can only inflate an RTT sample.
+const DefaultSamples = 3
+
+// sampleSpacing separates repeated samples in virtual time so they observe
+// independent measurement noise.
+const sampleSpacing = 2 * time.Second
+
+// Estimator measures pairwise RTTs with the King technique.
+type Estimator struct {
+	topo     *netsim.Topology
+	recursor *dnsserver.Recursor
+	probe    netsim.HostID
+	samples  int
+}
+
+// New builds an estimator probing from the given measurement host.
+func New(topo *netsim.Topology, probe netsim.HostID, samples int) (*Estimator, error) {
+	if topo == nil {
+		return nil, errors.New("king: nil topology")
+	}
+	if topo.Host(probe) == nil {
+		return nil, fmt.Errorf("king: unknown probe host %d", probe)
+	}
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	return &Estimator{
+		topo:     topo,
+		recursor: &dnsserver.Recursor{Topo: topo},
+		probe:    probe,
+		samples:  samples,
+	}, nil
+}
+
+// EstimateMs estimates RTT(a, b) in milliseconds starting at virtual time
+// at. Per King, each sample is (recursive-through-a latency) minus
+// (direct-to-a latency), and the estimate is the minimum over samples —
+// noise in either leg only ever inflates a sample.
+func (e *Estimator) EstimateMs(a, b netsim.HostID, at time.Duration) (float64, error) {
+	if a == b {
+		return 0, nil
+	}
+	ests := make([]float64, 0, e.samples)
+	for i := 0; i < e.samples; i++ {
+		t := at + time.Duration(i)*sampleSpacing
+		direct, err := e.recursor.DirectLatencyMs(e.probe, a, t)
+		if err != nil {
+			return 0, err
+		}
+		recursive, err := e.recursor.RecursiveLatencyMs(e.probe, a, b, t)
+		if err != nil {
+			return 0, err
+		}
+		est := recursive - direct
+		if est < 0 {
+			est = 0
+		}
+		ests = append(ests, est)
+	}
+	sort.Float64s(ests)
+	return ests[0], nil
+}
+
+// Matrix estimates the full RTT matrix among hosts at virtual time at.
+// Entry [i][j] is the estimate between hosts[i] and hosts[j]; the matrix is
+// symmetric with a zero diagonal.
+func (e *Estimator) Matrix(hosts []netsim.HostID, at time.Duration) ([][]float64, error) {
+	n := len(hosts)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			est, err := e.EstimateMs(hosts[i], hosts[j], at)
+			if err != nil {
+				return nil, err
+			}
+			m[i][j], m[j][i] = est, est
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,148 @@
+package king
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func testTopology(t *testing.T) *netsim.Topology {
+	t.Helper()
+	p := netsim.DefaultParams()
+	p.NumClients = 80
+	p.NumCandidates = 20
+	p.NumReplicas = 40
+	topo, err := netsim.Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return topo
+}
+
+func TestNewValidation(t *testing.T) {
+	topo := testTopology(t)
+	if _, err := New(nil, 0, 0); err == nil {
+		t.Error("New(nil topo) should fail")
+	}
+	if _, err := New(topo, -1, 0); err == nil {
+		t.Error("New with bad probe should fail")
+	}
+	if _, err := New(topo, topo.Candidates()[0], 0); err != nil {
+		t.Errorf("New with default samples: %v", err)
+	}
+}
+
+func TestEstimateSelfIsZero(t *testing.T) {
+	topo := testTopology(t)
+	e, err := New(topo, topo.Candidates()[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.EstimateMs(topo.Clients()[0], topo.Clients()[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("self estimate = %v, want 0", got)
+	}
+}
+
+func TestEstimateTracksTruth(t *testing.T) {
+	topo := testTopology(t)
+	e, err := New(topo, topo.Candidates()[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := topo.Clients()
+	// Across many pairs, the median relative error of King estimates must be
+	// modest — the paper treats King as usable ground truth.
+	var relErrs []float64
+	for i := 0; i < 40; i++ {
+		a, b := clients[i], clients[(i+17)%len(clients)]
+		if a == b {
+			continue
+		}
+		est, err := e.EstimateMs(a, b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := topo.RTTMs(a, b, 0)
+		if truth <= 0 {
+			continue
+		}
+		relErrs = append(relErrs, math.Abs(est-truth)/truth)
+	}
+	if len(relErrs) == 0 {
+		t.Fatal("no pairs measured")
+	}
+	n := 0
+	for _, r := range relErrs {
+		if r < 0.25 {
+			n++
+		}
+	}
+	if frac := float64(n) / float64(len(relErrs)); frac < 0.7 {
+		t.Errorf("only %.0f%% of King estimates within 25%% of truth", frac*100)
+	}
+}
+
+func TestEstimateNonNegative(t *testing.T) {
+	topo := testTopology(t)
+	e, err := New(topo, topo.Candidates()[1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		est, err := e.EstimateMs(topo.Clients()[i], topo.Clients()[i+30], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est < 0 {
+			t.Errorf("negative estimate %v", est)
+		}
+	}
+}
+
+func TestEstimateErrorsOnUnknownHosts(t *testing.T) {
+	topo := testTopology(t)
+	e, err := New(topo, topo.Candidates()[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EstimateMs(-1, topo.Clients()[0], 0); err == nil {
+		t.Error("EstimateMs with bad host should fail")
+	}
+	if _, err := e.EstimateMs(topo.Clients()[0], netsim.HostID(1<<30), 0); err == nil {
+		t.Error("EstimateMs with bad host should fail")
+	}
+}
+
+func TestMatrixSymmetricZeroDiagonal(t *testing.T) {
+	topo := testTopology(t)
+	e, err := New(topo, topo.Candidates()[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := topo.Clients()[:10]
+	m, err := e.Matrix(hosts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != len(hosts) {
+		t.Fatalf("matrix has %d rows, want %d", len(m), len(hosts))
+	}
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %v, want 0", i, i, m[i][i])
+		}
+		for j := range m[i] {
+			if m[i][j] != m[j][i] {
+				t.Errorf("asymmetric at [%d][%d]: %v vs %v", i, j, m[i][j], m[j][i])
+			}
+			if i != j && m[i][j] <= 0 {
+				t.Errorf("matrix [%d][%d] = %v, want > 0", i, j, m[i][j])
+			}
+		}
+	}
+}

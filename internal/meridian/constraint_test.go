@@ -1,0 +1,125 @@
+package meridian
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func TestSatisfyConstraintsFindsValidMembers(t *testing.T) {
+	topo := testTopology(t)
+	o := healthyOverlay(t, topo)
+
+	// Two targets in the same region; a generous bound should be satisfiable.
+	clients := topo.Clients()
+	a := clients[0]
+	var b netsim.HostID = -1
+	for _, c := range clients[1:] {
+		if topo.Host(c).Region == topo.Host(a).Region && c != a {
+			b = c
+			break
+		}
+	}
+	if b < 0 {
+		t.Skip("no same-region client pair")
+	}
+	constraints := []Constraint{
+		{Target: a, BoundMs: 120},
+		{Target: b, BoundMs: 120},
+	}
+	got, stats, err := o.SatisfyConstraints(o.Members()[0], constraints, 3, 0)
+	if err != nil {
+		t.Fatalf("SatisfyConstraints: %v", err)
+	}
+	if stats.Probes == 0 {
+		t.Error("no probes issued")
+	}
+	if len(got) == 0 {
+		t.Fatal("no members satisfied a generous constraint set")
+	}
+	// Verify the answers actually satisfy the constraints on true RTTs,
+	// with headroom for measurement noise.
+	for _, m := range got {
+		for _, c := range constraints {
+			if rtt := topo.RTTMs(m, c.Target, 0); rtt > c.BoundMs*1.15 {
+				t.Errorf("member %d misses constraint: RTT to %d is %.1f ms (bound %.0f)",
+					m, c.Target, rtt, c.BoundMs)
+			}
+		}
+	}
+}
+
+func TestSatisfyConstraintsImpossibleBound(t *testing.T) {
+	topo := testTopology(t)
+	o := healthyOverlay(t, topo)
+	got, _, err := o.SatisfyConstraints(o.Members()[0], []Constraint{
+		{Target: topo.Clients()[0], BoundMs: 0.0001},
+	}, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("impossible bound satisfied by %v", got)
+	}
+}
+
+func TestSatisfyConstraintsValidation(t *testing.T) {
+	topo := testTopology(t)
+	o := healthyOverlay(t, topo)
+	entry := o.Members()[0]
+	if _, _, err := o.SatisfyConstraints(-1, []Constraint{{Target: 0, BoundMs: 10}}, 1, 0); err == nil {
+		t.Error("non-member entry should fail")
+	}
+	if _, _, err := o.SatisfyConstraints(entry, nil, 1, 0); err == nil {
+		t.Error("no constraints should fail")
+	}
+	if _, _, err := o.SatisfyConstraints(entry, []Constraint{{Target: -9, BoundMs: 10}}, 1, 0); err == nil {
+		t.Error("unknown target should fail")
+	}
+	if _, _, err := o.SatisfyConstraints(entry, []Constraint{{Target: 0, BoundMs: -1}}, 1, 0); err == nil {
+		t.Error("negative bound should fail")
+	}
+}
+
+func TestSatisfyConstraintsRespectsMax(t *testing.T) {
+	topo := testTopology(t)
+	o := healthyOverlay(t, topo)
+	got, _, err := o.SatisfyConstraints(o.Members()[0], []Constraint{
+		{Target: topo.Clients()[0], BoundMs: 500}, // trivially satisfiable
+	}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > 2 {
+		t.Errorf("returned %d members, max was 2", len(got))
+	}
+}
+
+func TestSatisfyConstraintsPathologicalEntry(t *testing.T) {
+	topo := testTopology(t)
+	o, err := Build(Config{
+		Topo: topo, Members: topo.Candidates(), Seed: 1, SelfishFraction: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var selfish netsim.HostID = -1
+	for _, id := range o.Members() {
+		if h, _ := o.Health(id); h.Selfish {
+			selfish = id
+			break
+		}
+	}
+	if selfish < 0 {
+		t.Fatal("no selfish node")
+	}
+	got, stats, err := o.SatisfyConstraints(selfish, []Constraint{
+		{Target: topo.Clients()[0], BoundMs: 500},
+	}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || stats.Probes != 0 {
+		t.Errorf("pathological entry produced results: %v, %d probes", got, stats.Probes)
+	}
+}

@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// addrAllocator hands out synthetic IPv4 prefixes from 10.0.0.0/8 to
+// autonomous systems, and individual addresses to hosts within them.
+// Prefix lengths vary (like real BGP tables) so that the ASN module's
+// longest-prefix-match lookup is exercised with non-uniform masks.
+type addrAllocator struct {
+	next uint32 // next unallocated address in host byte order
+	end  uint32
+}
+
+func newAddrAllocator() *addrAllocator {
+	return &addrAllocator{
+		next: 0x0A000000,             // 10.0.0.0
+		end:  0x0A000000 + 1<<24 - 1, // end of 10.0.0.0/8
+	}
+}
+
+// allocPrefix reserves one /bits prefix and returns it.
+func (a *addrAllocator) allocPrefix(bits int) (netip.Prefix, error) {
+	if bits < 8 || bits > 24 {
+		return netip.Prefix{}, fmt.Errorf("netsim: prefix length %d out of range [8,24]", bits)
+	}
+	size := uint32(1) << (32 - bits)
+	// Align the start of the block to its size.
+	start := (a.next + size - 1) &^ (size - 1)
+	if start+size-1 > a.end {
+		return netip.Prefix{}, fmt.Errorf("netsim: address space exhausted allocating /%d", bits)
+	}
+	a.next = start + size
+	return netip.PrefixFrom(addrFromUint32(start), bits), nil
+}
+
+func addrFromUint32(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+func uint32FromAddr(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// hostAddr returns the n-th usable host address inside prefix p
+// (n is zero-based; network and broadcast addresses are skipped).
+func hostAddr(p netip.Prefix, n int) (netip.Addr, error) {
+	size := uint32(1) << (32 - p.Bits())
+	if uint32(n)+2 >= size {
+		return netip.Addr{}, fmt.Errorf("netsim: host index %d does not fit in %v", n, p)
+	}
+	return addrFromUint32(uint32FromAddr(p.Addr()) + uint32(n) + 1), nil
+}

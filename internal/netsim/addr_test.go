@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestAllocPrefixAlignedAndDisjoint(t *testing.T) {
+	a := newAddrAllocator()
+	var prefixes []netip.Prefix
+	for _, bits := range []int{16, 20, 15, 18, 24, 15} {
+		p, err := a.allocPrefix(bits)
+		if err != nil {
+			t.Fatalf("allocPrefix(%d): %v", bits, err)
+		}
+		if p.Bits() != bits {
+			t.Errorf("got /%d, want /%d", p.Bits(), bits)
+		}
+		// The base address must be aligned to the prefix size.
+		base := uint32FromAddr(p.Addr())
+		size := uint32(1) << (32 - bits)
+		if base%size != 0 {
+			t.Errorf("prefix %v base not aligned to size %d", p, size)
+		}
+		for _, prev := range prefixes {
+			if prev.Overlaps(p) {
+				t.Errorf("prefix %v overlaps earlier %v", p, prev)
+			}
+		}
+		prefixes = append(prefixes, p)
+	}
+}
+
+func TestAllocPrefixStaysInTenSlashEight(t *testing.T) {
+	a := newAddrAllocator()
+	ten := netip.MustParsePrefix("10.0.0.0/8")
+	for i := 0; i < 100; i++ {
+		p, err := a.allocPrefix(18)
+		if err != nil {
+			t.Fatalf("allocPrefix #%d: %v", i, err)
+		}
+		if !ten.Overlaps(p) || !ten.Contains(p.Addr()) {
+			t.Fatalf("prefix %v escapes 10.0.0.0/8", p)
+		}
+	}
+}
+
+func TestAllocPrefixExhaustion(t *testing.T) {
+	a := newAddrAllocator()
+	// 10/8 holds exactly 256 /16s.
+	for i := 0; i < 256; i++ {
+		if _, err := a.allocPrefix(16); err != nil {
+			t.Fatalf("allocPrefix #%d should fit: %v", i, err)
+		}
+	}
+	if _, err := a.allocPrefix(16); err == nil {
+		t.Error("allocating a 257th /16 from 10/8 should fail")
+	}
+}
+
+func TestAllocPrefixRejectsBadLengths(t *testing.T) {
+	a := newAddrAllocator()
+	for _, bits := range []int{0, 7, 25, 33, -1} {
+		if _, err := a.allocPrefix(bits); err == nil {
+			t.Errorf("allocPrefix(%d) should fail", bits)
+		}
+	}
+}
+
+func TestHostAddr(t *testing.T) {
+	p := netip.MustParsePrefix("10.4.0.0/24")
+	first, err := hostAddr(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := netip.MustParseAddr("10.4.0.1"); first != want {
+		t.Errorf("hostAddr(p, 0) = %v, want %v", first, want)
+	}
+	last, err := hostAddr(p, 253)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := netip.MustParseAddr("10.4.0.254"); last != want {
+		t.Errorf("hostAddr(p, 253) = %v, want %v", last, want)
+	}
+	if _, err := hostAddr(p, 254); err == nil {
+		t.Error("hostAddr should refuse the broadcast address")
+	}
+}
+
+func TestAddrUint32RoundTrip(t *testing.T) {
+	for _, s := range []string{"10.0.0.0", "10.255.255.255", "10.128.3.77"} {
+		a := netip.MustParseAddr(s)
+		if got := addrFromUint32(uint32FromAddr(a)); got != a {
+			t.Errorf("round trip of %v = %v", a, got)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a virtual clock measuring time since the simulation epoch.
+// Experiments that span weeks of probe traffic (the paper's Fig. 8 uses
+// 2000-minute probe intervals over a multi-day window) advance the clock
+// instead of sleeping. Clock is safe for concurrent use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewClock returns a clock positioned at the simulation epoch.
+func NewClock() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time as an offset from the epoch.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+// Advancing by a negative duration is a programming error and panics:
+// the simulator's deterministic-noise functions assume monotonic time.
+func (c *Clock) Advance(d time.Duration) time.Duration {
+	if d < 0 {
+		panic(fmt.Sprintf("netsim: Clock.Advance(%v): negative duration", d))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+	return c.now
+}
+
+// Set positions the clock at an absolute offset from the epoch. Unlike
+// Advance it may move time backward; it exists for tests and for replaying
+// recorded schedules.
+func (c *Clock) Set(t time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}

@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtEpoch(t *testing.T) {
+	c := NewClock()
+	if got := c.Now(); got != 0 {
+		t.Errorf("new clock Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if got := c.Advance(10 * time.Minute); got != 10*time.Minute {
+		t.Errorf("Advance returned %v, want 10m", got)
+	}
+	c.Advance(20 * time.Second)
+	if got := c.Now(); got != 10*time.Minute+20*time.Second {
+		t.Errorf("Now() = %v, want 10m20s", got)
+	}
+}
+
+func TestClockSet(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Hour)
+	c.Set(5 * time.Minute)
+	if got := c.Now(); got != 5*time.Minute {
+		t.Errorf("Now() after Set = %v, want 5m", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := NewClock()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Duration(workers*perWorker) * time.Millisecond
+	if got := c.Now(); got != want {
+		t.Errorf("Now() = %v after concurrent advances, want %v", got, want)
+	}
+}
+
+func TestLocalHour(t *testing.T) {
+	tests := []struct {
+		name string
+		at   time.Duration
+		lon  float64
+		want float64
+	}{
+		{"epoch at greenwich", 0, 0, 0},
+		{"noon utc at greenwich", 12 * time.Hour, 0, 12},
+		{"epoch at +90 east", 0, 90, 6},
+		{"epoch at -90 west", 0, -90, 18},
+		{"wraps across days", 30 * time.Hour, 0, 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := localHour(tt.at, tt.lon); got != tt.want {
+				t.Errorf("localHour(%v, %v) = %v, want %v", tt.at, tt.lon, got, tt.want)
+			}
+		})
+	}
+}

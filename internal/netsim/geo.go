@@ -1,0 +1,49 @@
+package netsim
+
+import "math"
+
+// Coord is a geographic coordinate in decimal degrees.
+type Coord struct {
+	Lat float64 // latitude, -90..90
+	Lon float64 // longitude, -180..180
+}
+
+const earthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle (haversine) distance to o in km.
+func (c Coord) DistanceKm(o Coord) float64 {
+	lat1 := c.Lat * math.Pi / 180
+	lat2 := o.Lat * math.Pi / 180
+	dLat := (o.Lat - c.Lat) * math.Pi / 180
+	dLon := (o.Lon - c.Lon) * math.Pi / 180
+
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	a := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	if a > 1 {
+		a = 1
+	}
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(a))
+}
+
+// clampLat keeps a latitude within the valid range after adding scatter.
+func clampLat(lat float64) float64 {
+	if lat > 89 {
+		return 89
+	}
+	if lat < -89 {
+		return -89
+	}
+	return lat
+}
+
+// wrapLon normalizes a longitude into [-180, 180).
+func wrapLon(lon float64) float64 {
+	for lon >= 180 {
+		lon -= 360
+	}
+	for lon < -180 {
+		lon += 360
+	}
+	return lon
+}

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKmKnownPairs(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   Coord
+		wantKm float64
+		tolKm  float64
+	}{
+		{
+			name: "same point",
+			a:    Coord{Lat: 40, Lon: -74}, b: Coord{Lat: 40, Lon: -74},
+			wantKm: 0, tolKm: 0.001,
+		},
+		{
+			name: "new york to london",
+			a:    Coord{Lat: 40.7128, Lon: -74.0060}, b: Coord{Lat: 51.5074, Lon: -0.1278},
+			wantKm: 5570, tolKm: 30,
+		},
+		{
+			name: "sydney to auckland",
+			a:    Coord{Lat: -33.8688, Lon: 151.2093}, b: Coord{Lat: -36.8485, Lon: 174.7633},
+			wantKm: 2156, tolKm: 30,
+		},
+		{
+			name: "antipodal-ish",
+			a:    Coord{Lat: 0, Lon: 0}, b: Coord{Lat: 0, Lon: 180},
+			wantKm: math.Pi * earthRadiusKm, tolKm: 1,
+		},
+		{
+			name: "one degree of latitude",
+			a:    Coord{Lat: 0, Lon: 0}, b: Coord{Lat: 1, Lon: 0},
+			wantKm: 111.2, tolKm: 1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.a.DistanceKm(tt.b)
+			if math.Abs(got-tt.wantKm) > tt.tolKm {
+				t.Errorf("DistanceKm() = %.1f, want %.1f ± %.1f", got, tt.wantKm, tt.tolKm)
+			}
+		})
+	}
+}
+
+func TestDistanceKmSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Coord{Lat: math.Mod(lat1, 90), Lon: math.Mod(lon1, 180)}
+		b := Coord{Lat: math.Mod(lat2, 90), Lon: math.Mod(lon2, 180)}
+		d1, d2 := a.DistanceKm(b), b.DistanceKm(a)
+		return math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceKmNonNegativeAndBounded(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Coord{Lat: math.Mod(lat1, 90), Lon: math.Mod(lon1, 180)}
+		b := Coord{Lat: math.Mod(lat2, 90), Lon: math.Mod(lon2, 180)}
+		d := a.DistanceKm(b)
+		return d >= 0 && d <= math.Pi*earthRadiusKm+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampLat(t *testing.T) {
+	tests := []struct {
+		in, want float64
+	}{
+		{0, 0}, {45.5, 45.5}, {91, 89}, {-95, -89}, {89, 89}, {-89, -89},
+	}
+	for _, tt := range tests {
+		if got := clampLat(tt.in); got != tt.want {
+			t.Errorf("clampLat(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWrapLon(t *testing.T) {
+	tests := []struct {
+		in, want float64
+	}{
+		{0, 0}, {-180, -180}, {180, -180}, {190, -170}, {-190, 170}, {360, 0}, {540, -180},
+	}
+	for _, tt := range tests {
+		if got := wrapLon(tt.in); got != tt.want {
+			t.Errorf("wrapLon(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}

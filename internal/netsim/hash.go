@@ -1,0 +1,36 @@
+package netsim
+
+// Deterministic, stateless noise. All time-varying behaviour in the simulator
+// (congestion, CDN measurement error, load spikes) is derived by hashing a
+// seed together with the entity identifiers and a time bucket. This keeps the
+// simulator reproducible bit-for-bit, safe for concurrent use without locks,
+// and free of hidden state that would break replaying an experiment.
+
+// splitmix64 is the finalizer from the SplitMix64 generator. It is a strong
+// 64-bit mixing function: flipping any input bit flips ~half the output bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix hashes an arbitrary sequence of 64-bit values into one well-mixed
+// 64-bit value. Mix() of the same inputs always yields the same output.
+func Mix(vs ...uint64) uint64 {
+	h := uint64(0x5851f42d4c957f2d)
+	for _, v := range vs {
+		h = splitmix64(h ^ v)
+	}
+	return splitmix64(h)
+}
+
+// Unit maps a hash to a float in [0, 1).
+func Unit(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// UnitAt is shorthand for Unit(Mix(vs...)).
+func UnitAt(vs ...uint64) float64 {
+	return Unit(Mix(vs...))
+}

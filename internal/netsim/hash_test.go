@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixDeterministic(t *testing.T) {
+	if Mix(1, 2, 3) != Mix(1, 2, 3) {
+		t.Error("Mix is not deterministic")
+	}
+}
+
+func TestMixOrderSensitive(t *testing.T) {
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Error("Mix(1,2) == Mix(2,1): argument order should matter")
+	}
+}
+
+func TestMixArityDistinct(t *testing.T) {
+	// Different arities with a shared prefix must not collide trivially.
+	seen := map[uint64]string{}
+	cases := map[string]uint64{
+		"(1)":     Mix(1),
+		"(1,0)":   Mix(1, 0),
+		"(1,0,0)": Mix(1, 0, 0),
+	}
+	for name, h := range cases {
+		if prev, dup := seen[h]; dup {
+			t.Errorf("hash collision between %s and %s", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+func TestUnitRange(t *testing.T) {
+	f := func(x uint64) bool {
+		u := Unit(x)
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitAtUniformish(t *testing.T) {
+	// The mean of many hashed units should be near 0.5 and the values should
+	// cover the full range — a smoke test that the mixer isn't degenerate.
+	const n = 10000
+	sum, lo, hi := 0.0, 1.0, 0.0
+	for i := uint64(0); i < n; i++ {
+		u := UnitAt(42, i)
+		sum += u
+		lo = math.Min(lo, u)
+		hi = math.Max(hi, u)
+	}
+	mean := sum / n
+	if mean < 0.48 || mean > 0.52 {
+		t.Errorf("mean of hashed units = %.4f, want ~0.5", mean)
+	}
+	if lo > 0.01 || hi < 0.99 {
+		t.Errorf("hashed units cover [%.4f, %.4f], want nearly [0,1)", lo, hi)
+	}
+}
+
+func TestSplitmix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip a substantial number of output bits.
+	base := splitmix64(0x123456789abcdef)
+	for bit := 0; bit < 64; bit++ {
+		flipped := splitmix64(0x123456789abcdef ^ (1 << bit))
+		diff := base ^ flipped
+		n := 0
+		for diff != 0 {
+			n += int(diff & 1)
+			diff >>= 1
+		}
+		if n < 10 {
+			t.Errorf("flipping input bit %d changed only %d output bits", bit, n)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"math"
+	"time"
+)
+
+// The latency model decomposes an RTT into:
+//
+//	RTT(a,b,t) = path(a,b) + access(a) + access(b) + congestion(a,t) + congestion(b,t)
+//	path(a,b)  = greatCircle(a,b)/100ms * inflation(a,b) + asPenalty(AS(a),AS(b))
+//
+// where inflation models non-great-circle routing (1.05–1.5x) and asPenalty
+// models inter-domain routing indirectness (zero within an AS, heavy-tailed
+// across ASes). Congestion is a per-host diurnal sinusoid peaking in the
+// host's local evening plus rare hash-derived spikes. A separate Measure
+// layer adds observation noise on top, so the "true" RTT used for scoring
+// experiments and the noisy RTT seen by measurement subsystems (the CDN's
+// monitors, King probes) are cleanly separated, exactly as the paper
+// separates ground truth from the signals CRP consumes.
+
+const (
+	// kmPerMsRTT converts great-circle km to round-trip milliseconds:
+	// light in fiber covers ~200 km per one-way ms, i.e. 100 km per RTT ms.
+	kmPerMsRTT = 100.0
+
+	// spikeBucket is the granularity of congestion spikes.
+	spikeBucket = 5 * time.Minute
+	// congestionBucket quantizes the diurnal curve so repeated measurements
+	// within a short interval agree.
+	congestionBucket = time.Minute
+)
+
+// Hash domains, to decorrelate the independent noise sources.
+const (
+	domainInflation uint64 = iota + 1
+	domainASPenalty
+	domainSpike
+	domainMeasure
+	domainOutlier
+)
+
+// BaseRTTMs returns the stable component of the round-trip time between a
+// and b in milliseconds: propagation, routing inflation, AS penalty and
+// access delays. It is symmetric and zero for a == b.
+func (t *Topology) BaseRTTMs(a, b HostID) float64 {
+	if a == b {
+		return 0
+	}
+	// Canonicalize the pair so the result is exactly symmetric despite
+	// floating-point evaluation order.
+	lo, hi := pairOrder(a, b)
+	ha, hb := t.Host(lo), t.Host(hi)
+	if ha == nil || hb == nil {
+		return math.NaN()
+	}
+	dist := ha.Coord.DistanceKm(hb.Coord)
+	inflation := 1.05 + 0.45*UnitAt(t.seed, domainInflation, uint64(lo), uint64(hi))
+	prop := dist / kmPerMsRTT * inflation
+	return prop + ha.AccessRTTMs + hb.AccessRTTMs + t.asPenaltyMs(ha.ASN, hb.ASN)
+}
+
+// asPenaltyMs is the extra latency of crossing between two ASes. It is a
+// deterministic function of the unordered AS pair: 55% of pairs peer well
+// (<4 ms), 30% pay a moderate transit cost, 15% a heavy one. Same-AS paths
+// pay nothing. The heavy tail produces the triangle-inequality violations
+// that motivate detouring (the paper's prior work [42]).
+func (t *Topology) asPenaltyMs(a, b ASN) float64 {
+	if a == b {
+		return 0
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	h := Mix(t.seed, domainASPenalty, uint64(lo), uint64(hi))
+	class := Unit(h)
+	mag := Unit(splitmix64(h))
+	switch {
+	case class < 0.55:
+		return mag * 4
+	case class < 0.85:
+		return 4 + mag*16
+	default:
+		return 20 + mag*45
+	}
+}
+
+// congestionMs returns host h's time-varying queueing delay at virtual time
+// at. The diurnal component peaks around 20:00 local time; spikes are rare,
+// short and heavy.
+func (t *Topology) congestionMs(h *Host, at time.Duration) float64 {
+	if h.CongestionAmpMs == 0 {
+		return t.spikeMs(h, at)
+	}
+	at = at.Truncate(congestionBucket)
+	// Peak at 20:00 local: sin reaches 1 when localHour == 20.
+	phase := 2 * math.Pi * (localHour(at, h.Coord.Lon) - 14) / hoursPerDay
+	s := math.Sin(phase)
+	if s < 0 {
+		s = 0
+	}
+	return h.CongestionAmpMs*s + t.spikeMs(h, at)
+}
+
+// spikeMs returns a transient congestion spike for h during the 5-minute
+// bucket containing at (about 1.5% of buckets spike).
+func (t *Topology) spikeMs(h *Host, at time.Duration) float64 {
+	bucket := uint64(at / spikeBucket)
+	hv := Mix(t.seed, domainSpike, uint64(h.ID), bucket)
+	if Unit(hv) >= 0.015 {
+		return 0
+	}
+	return 5 + Unit(splitmix64(hv))*60
+}
+
+// RTTMs returns the true instantaneous round-trip time between a and b at
+// virtual time at, in milliseconds. This is the ground truth experiments
+// score against.
+func (t *Topology) RTTMs(a, b HostID, at time.Duration) float64 {
+	if a == b {
+		return 0
+	}
+	base := t.BaseRTTMs(a, b)
+	if math.IsNaN(base) {
+		return base
+	}
+	return base + t.congestionMs(t.Host(a), at) + t.congestionMs(t.Host(b), at)
+}
+
+// MeasureRTTMs returns a noisy observation of RTT(a,b) at time at, as a
+// measurement subsystem would see it: ±7% multiplicative error plus a 1%
+// chance of a gross outlier (a retransmission or an overloaded prober).
+// salt decorrelates independent observers — the CDN's monitoring system and
+// a King probe measuring the same pair at the same instant see different
+// errors.
+func (t *Topology) MeasureRTTMs(a, b HostID, at time.Duration, salt uint64) float64 {
+	rtt := t.RTTMs(a, b, at)
+	if a == b {
+		return 0
+	}
+	if math.IsNaN(rtt) {
+		return rtt
+	}
+	lo, hi := pairOrder(a, b)
+	bucket := uint64(at / congestionBucket)
+	h := Mix(t.seed, domainMeasure, salt, uint64(lo), uint64(hi), bucket)
+	rtt *= 1 + (Unit(h)-0.5)*0.14
+	if Unit(Mix(t.seed, domainOutlier, salt, uint64(lo), uint64(hi), bucket)) < 0.01 {
+		rtt += 30 + Unit(splitmix64(h))*150
+	}
+	return rtt
+}
+
+func pairOrder(a, b HostID) (HostID, HostID) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}

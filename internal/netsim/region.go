@@ -1,0 +1,76 @@
+package netsim
+
+// Region is a rectangular world region with deployment weights. Weights
+// control how hosts, CDN replica servers and candidate (PlanetLab-like)
+// servers are distributed. The CDN's replica weights intentionally differ
+// from the host weights: the paper's evaluation shows CRP degrading exactly
+// where Akamai's coverage is thin (New Zealand, Iceland, Russia in their
+// data), so the default deployment is dense in North America and Europe and
+// sparse elsewhere.
+type Region struct {
+	Name string
+
+	LatMin, LatMax float64
+	LonMin, LonMax float64
+
+	// HostWeight is the fraction of client hosts placed in this region.
+	HostWeight float64
+	// ReplicaWeight is the fraction of CDN replica servers in this region.
+	ReplicaWeight float64
+	// CandidateWeight is the fraction of candidate servers in this region.
+	CandidateWeight float64
+	// Metros is the number of metropolitan areas generated in this region.
+	Metros int
+}
+
+// DefaultRegions models a six-region world roughly matching mid-2000s
+// Internet demographics and Akamai's deployment skew.
+func DefaultRegions() []Region {
+	return []Region{
+		{
+			Name:   "north-america",
+			LatMin: 25, LatMax: 50, LonMin: -125, LonMax: -70,
+			HostWeight: 0.34, ReplicaWeight: 0.42, CandidateWeight: 0.48, Metros: 26,
+		},
+		{
+			Name:   "europe",
+			LatMin: 36, LatMax: 60, LonMin: -10, LonMax: 30,
+			HostWeight: 0.27, ReplicaWeight: 0.33, CandidateWeight: 0.34, Metros: 22,
+		},
+		{
+			Name:   "asia",
+			LatMin: 5, LatMax: 45, LonMin: 60, LonMax: 145,
+			HostWeight: 0.20, ReplicaWeight: 0.15, CandidateWeight: 0.10, Metros: 18,
+		},
+		{
+			Name:   "south-america",
+			LatMin: -35, LatMax: 5, LonMin: -80, LonMax: -40,
+			HostWeight: 0.08, ReplicaWeight: 0.05, CandidateWeight: 0.04, Metros: 9,
+		},
+		{
+			Name:   "oceania",
+			LatMin: -45, LatMax: -10, LonMin: 110, LonMax: 180,
+			HostWeight: 0.06, ReplicaWeight: 0.03, CandidateWeight: 0.02, Metros: 6,
+		},
+		{
+			Name:   "africa",
+			LatMin: -30, LatMax: 35, LonMin: -15, LonMax: 45,
+			HostWeight: 0.05, ReplicaWeight: 0.02, CandidateWeight: 0.02, Metros: 6,
+		},
+	}
+}
+
+// Metro is a metropolitan area: a population center where hosts cluster and
+// where ISPs (autonomous systems) and CDN points of presence are located.
+// Metros give the topology its clusterable structure — hosts in the same
+// metro are tens of ms apart, hosts in different metros much farther.
+type Metro struct {
+	ID     int
+	Region string
+	Center Coord
+	// Weight is the relative probability that a host lands in this metro
+	// within its region (Zipf-like: a few large metros, a long tail).
+	Weight float64
+	// ASNs lists the autonomous systems present in this metro.
+	ASNs []ASN
+}

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTopologyJSONRoundTrip(t *testing.T) {
+	orig := mustGenerate(t, smallParams())
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	loaded, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatalf("LoadJSON: %v", err)
+	}
+
+	if loaded.NumHosts() != orig.NumHosts() {
+		t.Fatalf("host counts: %d vs %d", loaded.NumHosts(), orig.NumHosts())
+	}
+	for i := 0; i < orig.NumHosts(); i++ {
+		a, b := orig.Host(HostID(i)), loaded.Host(HostID(i))
+		if *a != *b {
+			t.Fatalf("host %d differs after round trip:\n%+v\n%+v", i, a, b)
+		}
+	}
+	// The latency model must behave identically: same seed, same hosts.
+	for i := 0; i < 30; i++ {
+		a, b := HostID(i), HostID((i*13+7)%orig.NumHosts())
+		at := time.Duration(i) * 7 * time.Minute
+		if orig.RTTMs(a, b, at) != loaded.RTTMs(a, b, at) {
+			t.Fatalf("RTT(%d,%d) differs after round trip", a, b)
+		}
+		if orig.MeasureRTTMs(a, b, at, 3) != loaded.MeasureRTTMs(a, b, at, 3) {
+			t.Fatalf("MeasureRTT(%d,%d) differs after round trip", a, b)
+		}
+	}
+	// Lookup tables rebuilt.
+	h := orig.Host(orig.Clients()[0])
+	if id, ok := loaded.HostByName(h.Name); !ok || id != h.ID {
+		t.Errorf("HostByName after load = %v,%v", id, ok)
+	}
+	if len(loaded.ASes()) != len(orig.ASes()) {
+		t.Errorf("AS counts differ: %d vs %d", len(loaded.ASes()), len(orig.ASes()))
+	}
+	if len(loaded.Replicas()) != len(orig.Replicas()) ||
+		len(loaded.Candidates()) != len(orig.Candidates()) ||
+		len(loaded.Clients()) != len(orig.Clients()) {
+		t.Error("kind partitions differ after round trip")
+	}
+}
+
+func TestLoadJSONRejectsCorruption(t *testing.T) {
+	orig := mustGenerate(t, smallParams())
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.String()
+
+	corrupt := func(name string, mutate func(*topologyJSON)) {
+		t.Run(name, func(t *testing.T) {
+			var doc topologyJSON
+			if err := json.Unmarshal([]byte(base), &doc); err != nil {
+				t.Fatal(err)
+			}
+			mutate(&doc)
+			raw, err := json.Marshal(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadJSON(bytes.NewReader(raw)); err == nil {
+				t.Error("LoadJSON accepted corrupted input")
+			}
+		})
+	}
+
+	corrupt("host id gap", func(d *topologyJSON) { d.Hosts[3].ID = 999 })
+	corrupt("bad addr", func(d *topologyJSON) { d.Hosts[0].Addr = "not-an-ip" })
+	corrupt("bad kind", func(d *topologyJSON) { d.Hosts[0].Kind = 42 })
+	corrupt("dup addr", func(d *topologyJSON) { d.Hosts[1].Addr = d.Hosts[0].Addr })
+	corrupt("dup name", func(d *topologyJSON) { d.Hosts[1].Name = d.Hosts[0].Name })
+	corrupt("unknown as", func(d *topologyJSON) { d.Hosts[0].ASN = 1 })
+	corrupt("unknown metro", func(d *topologyJSON) { d.Hosts[0].Metro = 10_000 })
+	corrupt("bad ldns", func(d *topologyJSON) { d.Hosts[0].LDNS = -2 })
+	corrupt("dup as", func(d *topologyJSON) { d.ASes[1].ASN = d.ASes[0].ASN })
+	corrupt("bad prefix", func(d *topologyJSON) { d.ASes[0].Prefixes[0] = "nope" })
+	corrupt("as bad metro", func(d *topologyJSON) { d.ASes[0].Metros = []int{-1} })
+	corrupt("metro order", func(d *topologyJSON) { d.Metros[0].ID = 5 })
+}
+
+func TestLoadJSONRejectsGarbage(t *testing.T) {
+	if _, err := LoadJSON(strings.NewReader("{ not json")); err == nil {
+		t.Error("LoadJSON accepted malformed JSON")
+	}
+}

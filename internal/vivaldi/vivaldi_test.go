@@ -1,0 +1,167 @@
+package vivaldi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func testTopology(t *testing.T) *netsim.Topology {
+	t.Helper()
+	p := netsim.DefaultParams()
+	p.NumClients = 80
+	p.NumCandidates = 30
+	p.NumReplicas = 20
+	topo, err := netsim.Generate(p)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return topo
+}
+
+func embedAll(t *testing.T, topo *netsim.Topology) (*System, []netsim.HostID) {
+	t.Helper()
+	hosts := append(topo.Clients(), topo.Candidates()...)
+	sys, err := Embed(Config{Topo: topo, Hosts: hosts, Seed: 1})
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	return sys, hosts
+}
+
+func TestEmbedValidation(t *testing.T) {
+	topo := testTopology(t)
+	if _, err := Embed(Config{Hosts: topo.Clients()}); err == nil {
+		t.Error("Embed without topo should fail")
+	}
+	if _, err := Embed(Config{Topo: topo, Hosts: topo.Clients()[:1]}); err == nil {
+		t.Error("Embed with one host should fail")
+	}
+	if _, err := Embed(Config{Topo: topo, Hosts: []netsim.HostID{-1, 2}}); err == nil {
+		t.Error("Embed with unknown host should fail")
+	}
+}
+
+func TestDistanceMsSymmetricNonNegative(t *testing.T) {
+	a := Coord{Vec: []float64{1, 2, 3}, Height: 2}
+	b := Coord{Vec: []float64{4, 6, 3}, Height: 1}
+	if got, want := DistanceMs(a, b), 8.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("DistanceMs = %v, want %v (5 + heights 3)", got, want)
+	}
+	if DistanceMs(a, b) != DistanceMs(b, a) {
+		t.Error("DistanceMs not symmetric")
+	}
+	if DistanceMs(a, a) != 2*a.Height {
+		t.Error("self distance should be twice the height")
+	}
+}
+
+func TestEmbedPredictionsCorrelateWithTruth(t *testing.T) {
+	topo := testTopology(t)
+	sys, hosts := embedAll(t, topo)
+
+	// Rank correlation proxy: for random triples (a, b, c), the coordinate
+	// distances should order (b, c) relative to a the same way true RTTs do
+	// clearly more often than chance.
+	correct, total := 0, 0
+	for i := 0; i+2 < len(hosts); i += 3 {
+		a, b, c := hosts[i], hosts[i+1], hosts[i+2]
+		tb, tc := topo.BaseRTTMs(a, b), topo.BaseRTTMs(a, c)
+		if math.Abs(tb-tc) < 20 {
+			continue // too close to call, skip ambiguous triples
+		}
+		pb, err := sys.PredictMs(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := sys.PredictMs(a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (tb < tc) == (pb < pc) {
+			correct++
+		}
+		total++
+	}
+	if total == 0 {
+		t.Fatal("no informative triples")
+	}
+	if frac := float64(correct) / float64(total); frac < 0.75 {
+		t.Errorf("embedding ordered only %.0f%% of clear triples correctly", frac*100)
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	topo := testTopology(t)
+	hosts := topo.Clients()[:20]
+	s1, err := Embed(Config{Topo: topo, Hosts: hosts, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Embed(Config{Topo: topo, Hosts: hosts, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range hosts {
+		c1, _ := s1.Coord(id)
+		c2, _ := s2.Coord(id)
+		for k := range c1.Vec {
+			if c1.Vec[k] != c2.Vec[k] {
+				t.Fatalf("host %d coordinate differs across identical runs", id)
+			}
+		}
+	}
+}
+
+func TestCoordCopies(t *testing.T) {
+	topo := testTopology(t)
+	sys, hosts := embedAll(t, topo)
+	c, ok := sys.Coord(hosts[0])
+	if !ok {
+		t.Fatal("Coord not found")
+	}
+	c.Vec[0] = 1e9
+	c2, _ := sys.Coord(hosts[0])
+	if c2.Vec[0] == 1e9 {
+		t.Error("Coord exposes internal storage")
+	}
+	if _, ok := sys.Coord(netsim.HostID(-1)); ok {
+		t.Error("Coord of unknown host reported ok")
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	topo := testTopology(t)
+	sys, hosts := embedAll(t, topo)
+	if _, err := sys.PredictMs(hosts[0], netsim.HostID(-1)); err == nil {
+		t.Error("PredictMs with unembedded host should fail")
+	}
+	if _, err := sys.PredictMs(netsim.HostID(-1), hosts[0]); err == nil {
+		t.Error("PredictMs with unembedded host should fail")
+	}
+}
+
+func TestSelectClosestBeatsRandom(t *testing.T) {
+	topo := testTopology(t)
+	sys, _ := embedAll(t, topo)
+	candidates := topo.Candidates()
+
+	var selSum, randSum float64
+	clients := topo.Clients()[:40]
+	for i, c := range clients {
+		pick, err := sys.SelectClosest(c, candidates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		selSum += topo.BaseRTTMs(c, pick)
+		randSum += topo.BaseRTTMs(c, candidates[(i*7)%len(candidates)])
+	}
+	if selSum >= randSum {
+		t.Errorf("vivaldi selection (avg %.1f) no better than random (avg %.1f)",
+			selSum/float64(len(clients)), randSum/float64(len(clients)))
+	}
+	if _, err := sys.SelectClosest(clients[0], nil); err == nil {
+		t.Error("SelectClosest with no candidates should fail")
+	}
+}

@@ -1,0 +1,240 @@
+package repro
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/crp"
+	"repro/internal/asn"
+	"repro/internal/cdn"
+	"repro/internal/dnsserver"
+	"repro/internal/dnswire"
+	"repro/internal/king"
+	"repro/internal/meridian"
+	"repro/internal/netsim"
+)
+
+// TestSystemEndToEnd drives the complete CRP pipeline through its real
+// interfaces: a generated world, the CDN's authoritative zone served over
+// UDP, stub resolvers collecting redirections via actual DNS queries into a
+// crp.Service, and finally closest-node selection and clustering validated
+// against the simulator's ground truth. It is the cross-module integration
+// test: dnswire ↔ dnsserver ↔ cdn ↔ netsim ↔ crp.
+func TestSystemEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+
+	// World.
+	params := netsim.DefaultParams()
+	params.NumClients = 40
+	params.NumCandidates = 30
+	params.NumReplicas = 120
+	topo, err := netsim.Generate(params)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	network, err := cdn.New(cdn.Config{Topo: topo})
+	if err != nil {
+		t.Fatalf("cdn.New: %v", err)
+	}
+	clock := netsim.NewClock()
+	backend := &dnsserver.CDNBackend{Topo: topo, CDN: network, Clock: clock}
+
+	// Wire path.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := dnsserver.NewRegistry()
+	srv, err := dnsserver.Serve(pc, backend, registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Everyone (a sample of clients + all candidates) collects redirections
+	// through real DNS queries.
+	svc := crp.NewService(crp.WithWindow(10))
+	epoch := time.Now()
+	sample := topo.Clients()[:12]
+	participants := append(append([]netsim.HostID(nil), sample...), topo.Candidates()...)
+
+	for _, h := range participants {
+		cl, err := dnsserver.NewClient(srv.Addr(), registry, h, dnsserver.WithTimeout(2*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock.Set(0)
+		for probe := 0; probe < 10; probe++ {
+			for _, name := range network.Names() {
+				resp, err := cl.Query(name, dnswire.TypeA)
+				if err != nil {
+					cl.Close()
+					t.Fatalf("query %q as host %d: %v", name, h, err)
+				}
+				if resp.RCode != dnswire.RCodeNoError || len(resp.Answers) == 0 {
+					cl.Close()
+					t.Fatalf("bad answer for %q: %v, %d records", name, resp.RCode, len(resp.Answers))
+				}
+				var ids []crp.ReplicaID
+				for _, rec := range resp.Answers {
+					a, ok := rec.Data.(*dnswire.ARecord)
+					if !ok {
+						cl.Close()
+						t.Fatalf("non-A answer record: %v", rec)
+					}
+					id, ok := topo.HostByAddr(a.Addr)
+					if !ok || network.IsFallback(id) {
+						continue
+					}
+					ids = append(ids, crp.ReplicaID(topo.Host(id).Name))
+				}
+				if err := svc.Observe(crp.NodeID(topo.Host(h).Name), epoch.Add(clock.Now()), ids...); err != nil {
+					cl.Close()
+					t.Fatal(err)
+				}
+			}
+			clock.Advance(10 * time.Minute)
+		}
+		cl.Close()
+	}
+
+	nodeOf := func(h netsim.HostID) crp.NodeID { return crp.NodeID(topo.Host(h).Name) }
+	candidates := make([]crp.NodeID, len(topo.Candidates()))
+	for i, c := range topo.Candidates() {
+		candidates[i] = nodeOf(c)
+	}
+
+	// Closest-node selection through the service must clearly beat random
+	// assignment on true RTT.
+	evalAt := clock.Now()
+	var crpSum, randSum float64
+	for i, client := range sample {
+		best, _, err := svc.ClosestTo(nodeOf(client), candidates)
+		if err != nil {
+			t.Fatalf("ClosestTo: %v", err)
+		}
+		chosen, ok := topo.HostByName(string(best.Node))
+		if !ok {
+			t.Fatalf("selected unknown node %q", best.Node)
+		}
+		crpSum += topo.RTTMs(client, chosen, evalAt)
+		randSum += topo.RTTMs(client, topo.Candidates()[(i*7)%len(topo.Candidates())], evalAt)
+	}
+	if crpSum >= randSum {
+		t.Errorf("CRP selection (total %.0f ms) no better than random (%.0f ms)", crpSum, randSum)
+	}
+
+	// Clustering through the service: members of multi-node clusters must be
+	// closer to their centers than the population average pair.
+	clusters, err := svc.ClusterAll(crp.ClusterConfig{Threshold: crp.DefaultThreshold, SecondPass: true})
+	if err != nil {
+		t.Fatalf("ClusterAll: %v", err)
+	}
+	var intraSum float64
+	var intraN int
+	for _, c := range clusters {
+		if c.Size() < 2 {
+			continue
+		}
+		cid, _ := topo.HostByName(string(c.Center))
+		for _, m := range c.Members {
+			if m == c.Center {
+				continue
+			}
+			mid, _ := topo.HostByName(string(m))
+			intraSum += topo.RTTMs(cid, mid, evalAt)
+			intraN++
+		}
+	}
+	if intraN == 0 {
+		t.Fatal("no multi-node clusters formed")
+	}
+	var allSum float64
+	var allN int
+	for i := 0; i < len(participants); i++ {
+		for j := i + 1; j < len(participants); j += 7 {
+			allSum += topo.RTTMs(participants[i], participants[j], evalAt)
+			allN++
+		}
+	}
+	if intraSum/float64(intraN) >= allSum/float64(allN) {
+		t.Errorf("intra-cluster mean RTT %.1f not below population mean %.1f",
+			intraSum/float64(intraN), allSum/float64(allN))
+	}
+
+	// The King module and the ASN table operate on the same world.
+	est, err := king.New(topo, topo.Candidates()[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := est.EstimateMs(sample[0], sample[1], evalAt); err != nil {
+		t.Fatalf("king estimate: %v", err)
+	}
+	table, err := asn.BuildTable(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := table.Lookup(topo.Host(sample[0]).Addr); !ok {
+		t.Error("ASN table missed a generated host")
+	}
+
+	// And the Meridian overlay answers queries on it too.
+	overlay, err := meridian.Build(meridian.Config{Topo: topo, Members: topo.Candidates(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := overlay.ClosestTo(overlay.Members()[0], sample[0], evalAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Host(rec) == nil {
+		t.Error("meridian recommended an unknown host")
+	}
+}
+
+// TestSystemDeterministicAcrossRuns guards the repository's determinism
+// guarantee at the system level: two fully independent worlds built from the
+// same seed agree on redirections, similarities and clusters.
+func TestSystemDeterministicAcrossRuns(t *testing.T) {
+	build := func() (*netsim.Topology, *cdn.Network) {
+		p := netsim.DefaultParams()
+		p.NumClients = 30
+		p.NumCandidates = 10
+		p.NumReplicas = 60
+		topo, err := netsim.Generate(p)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		network, err := cdn.New(cdn.Config{Topo: topo})
+		if err != nil {
+			t.Fatalf("cdn.New: %v", err)
+		}
+		return topo, network
+	}
+	topoA, cdnA := build()
+	topoB, cdnB := build()
+
+	for i, client := range topoA.Clients() {
+		at := time.Duration(i) * 13 * time.Minute
+		for _, name := range cdnA.Names() {
+			a, err := cdnA.Redirect(name, client, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := cdnB.Redirect(name, client, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Fatalf("redirections diverged for client %d at %v: %v vs %v", client, at, a, b)
+			}
+		}
+		if topoA.RTTMs(client, topoA.Candidates()[0], at) != topoB.RTTMs(client, topoB.Candidates()[0], at) {
+			t.Fatalf("RTTs diverged for client %d", client)
+		}
+	}
+}
