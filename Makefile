@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test bench race vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge gate: static analysis plus the full suite under the
+# race detector (the crp package runs real goroutine fan-out in its query and
+# clustering paths).
+check: vet race

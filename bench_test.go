@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"fmt"
 	"net/netip"
 	"sync"
 	"testing"
@@ -325,6 +326,104 @@ func BenchmarkClusterSMF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := crp.ClusterSMF(nodes, crp.ClusterConfig{Threshold: 0.1}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// synthNodes builds n nodes whose ratio maps mimic a CRP population:
+// groups of nodes share a metro's replica servers with node-specific biases,
+// so similarity structure (and the SMF center selection) is realistic.
+func synthNodes(n, groups, replicasPerGroup int) []crp.Node {
+	nodes := make([]crp.Node, 0, n)
+	for i := 0; i < n; i++ {
+		g := i % groups
+		m := crp.RatioMap{}
+		for r := 0; r < replicasPerGroup; r++ {
+			id := crp.ReplicaID(fmt.Sprintf("g%03d-r%d", g, r))
+			m[id] = float64(1 + (i+r)%5)
+		}
+		// A little cross-metro bleed, like a client near a metro boundary.
+		if i%7 == 0 {
+			m[crp.ReplicaID(fmt.Sprintf("g%03d-r0", (g+1)%groups))] = 0.5
+		}
+		nodes = append(nodes, crp.Node{
+			ID:  crp.NodeID(fmt.Sprintf("n%04d", i)),
+			Map: m.Normalize(),
+		})
+	}
+	return nodes
+}
+
+// BenchmarkClusterSMF1k measures SMF clustering at the paper's full scale
+// (1,000 nodes) — the O(N·C) center-assignment hot path.
+func BenchmarkClusterSMF1k(b *testing.B) {
+	nodes := synthNodes(1000, 40, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := crp.ClusterSMF(nodes, crp.ClusterConfig{Threshold: 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRankBySimilarity1k measures ranking one client against 1,000
+// candidate maps — the closest-node query fan-out.
+func BenchmarkRankBySimilarity1k(b *testing.B) {
+	nodes := synthNodes(1000, 40, 4)
+	cands := make(map[crp.NodeID]crp.RatioMap, len(nodes))
+	for _, n := range nodes {
+		cands[n.ID] = n.Map
+	}
+	client := nodes[0].Map
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = crp.RankBySimilarity(client, cands)
+	}
+}
+
+// BenchmarkServiceTopKRepeated measures repeated Service.TopK queries with
+// no interleaved observations — the steady-state query load of a deployed
+// positioning service, where ratio maps are unchanged between probes.
+func BenchmarkServiceTopKRepeated(b *testing.B) {
+	s := crp.NewService(crp.WithWindow(10))
+	at := time.Now()
+	nodes := synthNodes(1000, 40, 4)
+	for _, n := range nodes {
+		for _, r := range n.Map.Replicas() {
+			if err := s.Observe(n.ID, at, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	client := nodes[0].ID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TopK(client, nil, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCosineSimilarityMapPath measures the uncompiled map-based cosine
+// (Dot + two Norms), kept as the reference kernel.
+func BenchmarkCosineSimilarityMapPath(b *testing.B) {
+	a := crp.RatioMap{}
+	c := crp.RatioMap{}
+	for i := 0; i < 12; i++ {
+		a[crp.ReplicaID(string(rune('a'+i)))] = float64(i + 1)
+		if i%2 == 0 {
+			c[crp.ReplicaID(string(rune('a'+i)))] = float64(13 - i)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dot := crp.Dot(a, c)
+		if dot != 0 {
+			_ = dot / (a.Norm() * c.Norm())
 		}
 	}
 }

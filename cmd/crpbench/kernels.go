@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/crp"
+)
+
+// runKernels compares the map-based similarity path against the compiled
+// vector kernel that now backs CosineSimilarity, RankBySimilarity,
+// ClusterSMF and the Service query surface. The map-based path is
+// reconstructed from the exported Dot/Norm primitives — exactly the
+// pre-compilation formulation — so the comparison stays honest as the
+// internals evolve.
+func runKernels(quick bool) error {
+	nodes, rankRuns, queries := 1000, 100, 200
+	if quick {
+		nodes, rankRuns, queries = 200, 25, 50
+	}
+	fmt.Printf("Kernel comparison — map-based path vs compiled vectors (%d nodes)\n\n", nodes)
+
+	pop := kernelPopulation(nodes)
+	candidates := make(map[crp.NodeID]crp.RatioMap, len(pop))
+	for _, n := range pop {
+		candidates[n.ID] = n.Map
+	}
+
+	// Ranking one client against the whole population: per-pair map
+	// similarity (sorting inside every Dot/Norm call) vs RankBySimilarity,
+	// which compiles each map once and runs the merge-join kernel.
+	mapRank := func() time.Duration {
+		start := time.Now()
+		for run := 0; run < rankRuns; run++ {
+			client := pop[run%len(pop)].Map
+			scored := make([]crp.Scored, 0, len(candidates))
+			for id, m := range candidates {
+				sim := 0.0
+				if dot := crp.Dot(client, m); dot != 0 {
+					if na, nb := client.Norm(), m.Norm(); na != 0 && nb != 0 {
+						sim = dot / (na * nb)
+					}
+				}
+				scored = append(scored, crp.Scored{Node: id, Similarity: sim})
+			}
+			sortScored(scored)
+		}
+		return time.Since(start) / time.Duration(rankRuns)
+	}()
+	vecRank := func() time.Duration {
+		start := time.Now()
+		for run := 0; run < rankRuns; run++ {
+			_ = crp.RankBySimilarity(pop[run%len(pop)].Map, candidates)
+		}
+		return time.Since(start) / time.Duration(rankRuns)
+	}()
+	fmt.Printf("  %-34s %12v per ranking\n", "rank 1×N, map path (Dot+2×Norm):", mapRank.Round(time.Microsecond))
+	fmt.Printf("  %-34s %12v per ranking  (%.1fx)\n\n", "rank 1×N, compiled kernel:", vecRank.Round(time.Microsecond),
+		float64(mapRank)/float64(vecRank))
+
+	// Full SMF clustering at population scale.
+	clusterRuns := 5
+	start := time.Now()
+	for i := 0; i < clusterRuns; i++ {
+		if _, err := crp.ClusterSMF(pop, crp.ClusterConfig{Threshold: crp.DefaultThreshold}); err != nil {
+			return err
+		}
+	}
+	perCluster := time.Since(start) / time.Duration(clusterRuns)
+	fmt.Printf("  %-34s %12v per run\n\n", fmt.Sprintf("ClusterSMF over %d nodes:", nodes), perCluster.Round(time.Microsecond))
+
+	// Service Top-K: cold (an observation lands before every query,
+	// invalidating the cached maps and compiled snapshot) vs warm (repeated
+	// queries between observations, the steady state of a deployed service).
+	svc := crp.NewService(crp.WithWindow(10))
+	at := time.Unix(0, 0)
+	for _, n := range pop {
+		for r := range n.Map {
+			if err := svc.Observe(n.ID, at, r); err != nil {
+				return err
+			}
+		}
+	}
+	client := pop[0].ID
+	cold := func() (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			if err := svc.Observe(pop[1+i%(len(pop)-1)].ID, at.Add(time.Duration(i)*time.Second), "r-extra"); err != nil {
+				return 0, err
+			}
+			if _, err := svc.TopK(client, nil, 5); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(queries), nil
+	}
+	warm := func() (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			if _, err := svc.TopK(client, nil, 5); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(queries), nil
+	}
+	perCold, err := cold()
+	if err != nil {
+		return err
+	}
+	perWarm, err := warm()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-34s %12v per query\n", "Service.TopK, observe each query:", perCold.Round(time.Microsecond))
+	fmt.Printf("  %-34s %12v per query  (%.1fx)\n", "Service.TopK, cached snapshot:", perWarm.Round(time.Microsecond),
+		float64(perCold)/float64(perWarm))
+	return nil
+}
+
+// sortScored orders a ranking the way RankBySimilarity does: similarity
+// descending, node ID ascending for ties.
+func sortScored(s []crp.Scored) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Similarity != s[j].Similarity {
+			return s[i].Similarity > s[j].Similarity
+		}
+		return s[i].Node < s[j].Node
+	})
+}
+
+// kernelPopulation builds a metro-grouped node population, the same shape
+// the repository's benchmarks use.
+func kernelPopulation(n int) []crp.Node {
+	const groups, replicasPerGroup = 40, 4
+	nodes := make([]crp.Node, 0, n)
+	for i := 0; i < n; i++ {
+		g := i % groups
+		m := crp.RatioMap{}
+		for r := 0; r < replicasPerGroup; r++ {
+			m[crp.ReplicaID(fmt.Sprintf("g%03d-r%d", g, r))] = float64(1 + (i+r)%5)
+		}
+		if i%7 == 0 {
+			m[crp.ReplicaID(fmt.Sprintf("g%03d-r0", (g+1)%groups))] = 0.5
+		}
+		nodes = append(nodes, crp.Node{
+			ID:  crp.NodeID(fmt.Sprintf("n%04d", i)),
+			Map: m.Normalize(),
+		})
+	}
+	return nodes
+}

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations] [-quick] [-seed N]
+//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations|kernels] [-quick] [-seed N]
+//
+// The kernels experiment is not from the paper: it compares the map-based
+// similarity path (Dot + two Norms per pair) against the compiled-vector
+// kernel the query surface runs on, at service scale.
 //
 // The default configuration matches the paper's scale (1,000 client DNS
 // servers, 240 candidate servers); -quick runs a reduced configuration for
@@ -29,11 +33,16 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("crpbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations")
+	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations, kernels")
 	quick := fs.Bool("quick", false, "run a reduced-scale configuration")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The kernel comparison is a pure micro-benchmark: no scenario build.
+	if *exp == "kernels" {
+		return runKernels(*quick)
 	}
 
 	params := experiment.DefaultScenarioParams()
@@ -157,7 +166,7 @@ func run(args []string) error {
 	}
 
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of: all fig4 fig5 table1 fig6 fig7 fig8 fig9 repair sec6 ablations)", *exp)
+		return fmt.Errorf("unknown experiment %q (want one of: all fig4 fig5 table1 fig6 fig7 fig8 fig9 repair sec6 ablations kernels)", *exp)
 	}
 	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

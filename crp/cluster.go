@@ -57,7 +57,18 @@ const DefaultThreshold = 0.1
 // The returned clusters are sorted by decreasing size, then center ID.
 // Singleton clusters are included; Summarize and the paper's accounting
 // treat only clusters of size ≥ 2 as "clustered" nodes.
+//
+// Every ratio map is compiled to a sorted vector once up front, and the
+// center-assignment pass fans out across a bounded worker pool; the
+// clustering is deterministic regardless of parallelism.
 func ClusterSMF(nodes []Node, cfg ClusterConfig) ([]Cluster, error) {
+	return clusterSMF(nodes, cfg, nil)
+}
+
+// clusterSMF implements ClusterSMF with an injectable similarity function.
+// A nil sim uses the compiled-vector kernel; tests inject the map-based
+// CosineSimilarity path to assert both kernels cluster identically.
+func clusterSMF(nodes []Node, cfg ClusterConfig, sim func(a, b NodeID) float64) ([]Cluster, error) {
 	if cfg.Threshold < 0 || cfg.Threshold > 1 {
 		return nil, fmt.Errorf("crp: threshold %v outside [0,1]", cfg.Threshold)
 	}
@@ -76,6 +87,27 @@ func ClusterSMF(nodes []Node, cfg ClusterConfig) ([]Cluster, error) {
 	sorted := make([]Node, len(nodes))
 	copy(sorted, nodes)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	// simIdx scores sorted[i] against sorted[j] by index — the O(N·C)
+	// assignment loop must not pay two map lookups per pair. The compiled
+	// kernel backs it unless a map-based sim was injected.
+	var simIdx func(i, j int) float64
+	if sim == nil {
+		// Compile every map once; all O(N·C) similarity work below runs on
+		// the allocation-free merge-join kernel.
+		vecs := make(map[NodeID]ratioVec, len(sorted))
+		compiled := make([]ratioVec, len(sorted))
+		parallelFor(len(sorted), func(i int) {
+			compiled[i] = compileRatioMap(sorted[i].Map)
+		})
+		for i, n := range sorted {
+			vecs[n.ID] = compiled[i]
+		}
+		sim = func(a, b NodeID) float64 { return vecs[a].cosine(vecs[b]) }
+		simIdx = func(i, j int) float64 { return compiled[i].cosine(compiled[j]) }
+	} else {
+		simIdx = func(i, j int) float64 { return sim(sorted[i].ID, sorted[j].ID) }
+	}
 
 	// Step 1: strongest mapping per replica server → centers.
 	type strongest struct {
@@ -97,15 +129,12 @@ func ClusterSMF(nodes []Node, cfg ClusterConfig) ([]Cluster, error) {
 		isCenter[s.node] = true
 	}
 
-	maps := make(map[NodeID]RatioMap, len(sorted))
-	for _, n := range sorted {
-		maps[n.ID] = n.Map
-	}
-
 	var centers []NodeID
-	for _, n := range sorted {
+	var centerIdx []int // index into sorted, parallel to centers
+	for i, n := range sorted {
 		if isCenter[n.ID] {
 			centers = append(centers, n.ID)
+			centerIdx = append(centerIdx, i)
 		}
 	}
 
@@ -114,21 +143,37 @@ func ClusterSMF(nodes []Node, cfg ClusterConfig) ([]Cluster, error) {
 		clusters[c] = &Cluster{Center: c, Members: []NodeID{c}}
 	}
 
-	// Step 2: assign non-centers to the most similar center above t.
+	// Step 2: assign non-centers to the most similar center above t. Each
+	// node's best center is independent of the others, so the scan fans out
+	// across the worker pool into a pre-sized result slice; the serial
+	// stitch-up below preserves the sorted-order member append.
+	type assignment struct {
+		center NodeID
+		sim    float64
+	}
+	assigned := make([]assignment, len(sorted))
+	parallelFor(len(sorted), func(i int) {
+		n := sorted[i]
+		if isCenter[n.ID] {
+			return
+		}
+		bestCenter, bestSim := NodeID(""), 0.0
+		for ci, c := range centers {
+			if s := simIdx(i, centerIdx[ci]); s > bestSim ||
+				(s == bestSim && s > 0 && (bestCenter == "" || c < bestCenter)) {
+				bestCenter, bestSim = c, s
+			}
+		}
+		assigned[i] = assignment{center: bestCenter, sim: bestSim}
+	})
 	var singletons []NodeID
-	for _, n := range sorted {
+	for i, n := range sorted {
 		if isCenter[n.ID] {
 			continue
 		}
-		bestCenter, bestSim := NodeID(""), 0.0
-		for _, c := range centers {
-			if sim := CosineSimilarity(n.Map, maps[c]); sim > bestSim ||
-				(sim == bestSim && sim > 0 && (bestCenter == "" || c < bestCenter)) {
-				bestCenter, bestSim = c, sim
-			}
-		}
-		if bestCenter != "" && bestSim >= cfg.Threshold && bestSim > 0 {
-			cl := clusters[bestCenter]
+		a := assigned[i]
+		if a.center != "" && a.sim >= cfg.Threshold && a.sim > 0 {
+			cl := clusters[a.center]
 			cl.Members = append(cl.Members, n.ID)
 		} else {
 			singletons = append(singletons, n.ID)
@@ -148,7 +193,7 @@ func ClusterSMF(nodes []Node, cfg ClusterConfig) ([]Cluster, error) {
 			cl := &Cluster{Center: center, Members: []NodeID{center}}
 			kept := remaining[:0]
 			for _, id := range remaining {
-				if sim := CosineSimilarity(maps[id], maps[center]); sim >= cfg.Threshold && sim > 0 {
+				if s := sim(id, center); s >= cfg.Threshold && s > 0 {
 					cl.Members = append(cl.Members, id)
 				} else {
 					kept = append(kept, id)

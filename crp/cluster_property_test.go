@@ -2,6 +2,7 @@ package crp
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -125,6 +126,151 @@ func TestTrackerRatioMapSumsToOne(t *testing.T) {
 			return len(m) == 0
 		}
 		return almostEqual(m.Sum(), 1, 1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// mapCosine is the reference map-based similarity path: Dot + two Norms,
+// exactly the pre-compiled-kernel formulation of CosineSimilarity,
+// including the zero handling and [0, 1] drift clamp.
+func mapCosine(a, b RatioMap) float64 {
+	dot := Dot(a, b)
+	if dot == 0 {
+		return 0
+	}
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	sim := dot / (na * nb)
+	if sim > 1 {
+		return 1
+	}
+	if sim < 0 {
+		return 0
+	}
+	return sim
+}
+
+// TestCompiledKernelMatchesMapCosine: the compiled-vector kernel must be
+// bit-identical (==, not almost-equal) to the map-based Dot/Norm path on
+// arbitrary ratio maps. Both accumulate in ascending replica order, so every
+// intermediate float operation matches.
+func TestCompiledKernelMatchesMapCosine(t *testing.T) {
+	check := func(rawA, rawB [5]byte, denomA, denomB uint8) bool {
+		mkMap := func(raw [5]byte, denom uint8) RatioMap {
+			m := RatioMap{}
+			for j, b := range raw {
+				if b == 0 {
+					continue
+				}
+				m[ReplicaID(fmt.Sprintf("r%d", (int(b)+j)%7))] += float64(b) / float64(int(denom)+1)
+			}
+			return m
+		}
+		a, b := mkMap(rawA, denomA), mkMap(rawB, denomB)
+		want := mapCosine(a, b)
+		if got := CosineSimilarity(a, b); got != want {
+			return false
+		}
+		// And on the compiled representation directly.
+		if got := compileRatioMap(a).cosine(compileRatioMap(b)); got != want {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompiledRankMatchesMapRank: RankBySimilarity through the compiled
+// parallel kernel must return the exact Scored slice (order and float bits)
+// the serial map-based path produces.
+func TestCompiledRankMatchesMapRank(t *testing.T) {
+	check := func(raw [][5]byte, clientRaw [5]byte) bool {
+		nodes := nodesFromRaw(raw)
+		candidates := make(map[NodeID]RatioMap, len(nodes))
+		for _, n := range nodes {
+			candidates[n.ID] = n.Map
+		}
+		client := RatioMap{}
+		for j, b := range clientRaw {
+			if b != 0 {
+				client[ReplicaID(fmt.Sprintf("r%d", (int(b)+j)%7))] += float64(b)
+			}
+		}
+		client = client.Normalize()
+
+		got := RankBySimilarity(client, candidates)
+
+		// Serial map-based reference ranking.
+		want := make([]Scored, 0, len(candidates))
+		for id, m := range candidates {
+			want = append(want, Scored{Node: id, Similarity: mapCosine(client, m)})
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].Similarity != want[j].Similarity {
+				return want[i].Similarity > want[j].Similarity
+			}
+			return want[i].Node < want[j].Node
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompiledClusterMatchesMapCluster: ClusterSMF on the compiled kernel
+// must produce exactly the clustering the map-based similarity path
+// produces, across thresholds and with and without the second pass.
+func TestCompiledClusterMatchesMapCluster(t *testing.T) {
+	check := func(raw [][5]byte, tByte uint8, secondPass bool) bool {
+		nodes := nodesFromRaw(raw)
+		cfg := ClusterConfig{
+			Threshold:  float64(tByte) / 255,
+			SecondPass: secondPass,
+			Seed:       int64(tByte),
+		}
+		got, errGot := ClusterSMF(nodes, cfg)
+		maps := make(map[NodeID]RatioMap, len(nodes))
+		for _, n := range nodes {
+			maps[n.ID] = n.Map
+		}
+		want, errWant := clusterSMF(nodes, cfg, func(a, b NodeID) float64 {
+			return mapCosine(maps[a], maps[b])
+		})
+		if (errGot == nil) != (errWant == nil) {
+			return false
+		}
+		if errGot != nil {
+			return true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Center != want[i].Center || len(got[i].Members) != len(want[i].Members) {
+				return false
+			}
+			for j := range got[i].Members {
+				if got[i].Members[j] != want[i].Members[j] {
+					return false
+				}
+			}
+		}
+		return true
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)

@@ -7,7 +7,8 @@ import (
 
 // DistanceFunc returns the ground-truth network distance (the paper uses
 // measured RTT in milliseconds) between two nodes. It must be symmetric and
-// non-negative.
+// non-negative, and safe for concurrent calls: EvaluateClusters fans the
+// per-cluster statistics out across a worker pool.
 type DistanceFunc func(a, b NodeID) float64
 
 // ClusterStats captures the paper's cluster-quality metrics for one cluster
@@ -35,10 +36,15 @@ func EvaluateClusters(clusters []Cluster, dist DistanceFunc) ([]ClusterStats, er
 	if dist == nil {
 		return nil, errors.New("crp: nil DistanceFunc")
 	}
-	var out []ClusterStats
-	for i, c := range clusters {
+	// Each cluster's statistics are independent (the O(members²) diameter
+	// scan dominates), so evaluate clusters in parallel into a pre-sized
+	// slice and collect the size ≥ 2 entries in order afterwards.
+	stats := make([]ClusterStats, len(clusters))
+	evaluated := make([]bool, len(clusters))
+	parallelFor(len(clusters), func(i int) {
+		c := clusters[i]
 		if c.Size() < 2 {
-			continue
+			return
 		}
 		s := ClusterStats{Cluster: c}
 
@@ -73,7 +79,14 @@ func EvaluateClusters(clusters []Cluster, dist DistanceFunc) ([]ClusterStats, er
 		if nOther > 0 {
 			s.Inter /= float64(nOther)
 		}
-		out = append(out, s)
+		stats[i] = s
+		evaluated[i] = true
+	})
+	var out []ClusterStats
+	for i := range stats {
+		if evaluated[i] {
+			out = append(out, stats[i])
+		}
 	}
 	return out, nil
 }

@@ -3,7 +3,7 @@ package crp
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -67,7 +67,7 @@ func (m RatioMap) Replicas() []ReplicaID {
 	for r := range m {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -110,6 +110,13 @@ func Dot(a, b RatioMap) float64 {
 // distance metric (§III-B):
 //
 //	cos_sim(A,B) = Σ ν_A,i·ν_B,i / sqrt(Σ ν_A,i² · Σ ν_B,i²)
+//
+// This one-shot form keeps the Dot early-out: disjoint maps (the common
+// case when scoring across metros) cost a single sort and no norm work.
+// The fan-out paths — RankBySimilarity, ClusterSMF, the Service queries —
+// instead compile each map once to a sorted vector and run the allocation-
+// free merge-join kernel in ratiovec.go; both kernels accumulate in
+// ascending replica order and are bit-identical.
 func CosineSimilarity(a, b RatioMap) float64 {
 	dot := Dot(a, b)
 	if dot == 0 {

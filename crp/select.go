@@ -1,6 +1,6 @@
 package crp
 
-import "sort"
+import "slices"
 
 // NodeID identifies a participating node (a client, server or peer) in a
 // CRP deployment.
@@ -21,18 +21,118 @@ type Scored struct {
 // semantics is that CRP cannot position them relative to the client, only
 // report that they are unlikely to be near it. Callers that need to
 // distinguish "closest" from "unknown" should inspect Similarity.
+//
+// Each map is compiled to a sorted vector once, and large candidate sets are
+// scored across a bounded worker pool; the returned ranking is deterministic
+// regardless of parallelism.
 func RankBySimilarity(client RatioMap, candidates map[NodeID]RatioMap) []Scored {
-	out := make([]Scored, 0, len(candidates))
+	cands := make([]nodeVec, 0, len(candidates))
 	for id, m := range candidates {
-		out = append(out, Scored{Node: id, Similarity: CosineSimilarity(client, m)})
+		cands = append(cands, nodeVec{id: id, vec: compileRatioMap(m)})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Similarity != out[j].Similarity {
-			return out[i].Similarity > out[j].Similarity
-		}
-		return out[i].Node < out[j].Node
+	return rankVecs(compileRatioMap(client), cands)
+}
+
+// scoredBetter reports whether a ranks strictly before b: higher similarity
+// first, ties broken on NodeID. It is a total order, the source of every
+// ranking's determinism.
+func scoredBetter(a, b Scored) bool {
+	if a.Similarity != b.Similarity {
+		return a.Similarity > b.Similarity
+	}
+	return a.Node < b.Node
+}
+
+func scoredCmp(a, b Scored) int {
+	if scoredBetter(a, b) {
+		return -1
+	}
+	if scoredBetter(b, a) {
+		return 1
+	}
+	return 0
+}
+
+// rankVecs is the compiled-vector ranking kernel behind RankBySimilarity and
+// the Service query path. It scores candidates in parallel into a pre-sized
+// slice, then sorts by decreasing similarity with NodeID tie-break, so the
+// output is deterministic.
+func rankVecs(client ratioVec, cands []nodeVec) []Scored {
+	out := make([]Scored, len(cands))
+	parallelFor(len(cands), func(i int) {
+		out[i] = Scored{Node: cands[i].id, Similarity: client.cosine(cands[i].vec)}
 	})
+	slices.SortFunc(out, scoredCmp)
 	return out
+}
+
+// simExcluded marks a candidate that must not appear in results (the query
+// client itself when ranking against a shared all-node snapshot). Real
+// similarities live on [0, 1], so any negative sentinel is unambiguous.
+const simExcluded = -1.0
+
+// topVecs scores candidates in parallel and selects the k best without
+// sorting the full candidate set — O(n log k) selection instead of
+// O(n log n), the difference between a Top-5 query and a full ranking at
+// service scale. Candidates whose id equals exclude are skipped. The result
+// is ordered and deterministic (same total order as rankVecs).
+func topVecs(client ratioVec, cands []nodeVec, k int, exclude NodeID) []Scored {
+	if k <= 0 {
+		return nil
+	}
+	scored := make([]Scored, len(cands))
+	parallelFor(len(cands), func(i int) {
+		if cands[i].id == exclude {
+			scored[i] = Scored{Node: cands[i].id, Similarity: simExcluded}
+			return
+		}
+		scored[i] = Scored{Node: cands[i].id, Similarity: client.cosine(cands[i].vec)}
+	})
+
+	// Bounded min-heap of the k best seen: heap[0] is the worst kept, so a
+	// new candidate only enters by beating it.
+	heap := make([]Scored, 0, min(k, len(scored)))
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			worst := i
+			if l < len(heap) && scoredBetter(heap[worst], heap[l]) {
+				worst = l
+			}
+			if r < len(heap) && scoredBetter(heap[worst], heap[r]) {
+				worst = r
+			}
+			if worst == i {
+				return
+			}
+			heap[i], heap[worst] = heap[worst], heap[i]
+			i = worst
+		}
+	}
+	for _, s := range scored {
+		if s.Similarity == simExcluded {
+			continue
+		}
+		if len(heap) < k {
+			heap = append(heap, s)
+			// Sift up: the worst kept candidate belongs at the root.
+			for i := len(heap) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !scoredBetter(heap[parent], heap[i]) {
+					break
+				}
+				heap[i], heap[parent] = heap[parent], heap[i]
+				i = parent
+			}
+			continue
+		}
+		if scoredBetter(s, heap[0]) {
+			heap[0] = s
+			siftDown(0)
+		}
+	}
+	slices.SortFunc(heap, scoredCmp)
+	return heap
 }
 
 // TopK returns the k candidates most similar to the client (all of them if
@@ -54,6 +154,11 @@ func TopK(client RatioMap, candidates map[NodeID]RatioMap, k int) []Scored {
 // information for this client at all.
 func SelectClosest(client RatioMap, candidates map[NodeID]RatioMap) (best Scored, ok bool) {
 	ranked := RankBySimilarity(client, candidates)
+	return bestOf(ranked)
+}
+
+// bestOf extracts the SelectClosest result from a ranking.
+func bestOf(ranked []Scored) (best Scored, ok bool) {
 	if len(ranked) == 0 || ranked[0].Similarity == 0 {
 		if len(ranked) > 0 {
 			return ranked[0], false

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,6 +19,19 @@ type Service struct {
 	mu       sync.RWMutex
 	trackers map[NodeID]*Tracker
 	opts     []TrackerOption
+
+	// version is bumped after every completed Observe/Forget; it guards the
+	// snapshot below. The bump happens strictly after the mutation lands so
+	// a snapshot built concurrently with a mutation is always tagged with
+	// the pre-mutation version and rebuilt on the next query.
+	version atomic.Uint64
+
+	// Compiled all-node candidate snapshot, shared by every query between
+	// observations. Rebuilt lazily when version moves; the slice and the
+	// vectors inside it are immutable once published.
+	snapMu      sync.Mutex
+	snapVecs    []nodeVec
+	snapVersion uint64
 }
 
 // ErrUnknownNode is returned for queries about nodes the service has no
@@ -48,14 +62,16 @@ func (s *Service) Observe(node NodeID, at time.Time, replicas ...ReplicaID) erro
 	}
 	s.mu.Unlock()
 	tr.Observe(at, replicas...)
+	s.version.Add(1)
 	return nil
 }
 
 // Forget removes a node and its history.
 func (s *Service) Forget(node NodeID) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.trackers, node)
+	s.mu.Unlock()
+	s.version.Add(1)
 }
 
 // Nodes returns the known node IDs in sorted order.
@@ -82,20 +98,23 @@ func (s *Service) RatioMap(node NodeID) (RatioMap, error) {
 }
 
 // Similarity returns the cosine similarity between two nodes' current ratio
-// maps.
+// maps, computed on their cached compiled vectors.
 func (s *Service) Similarity(a, b NodeID) (float64, error) {
-	ma, err := s.RatioMap(a)
+	va, err := s.clientVec(a)
 	if err != nil {
 		return 0, err
 	}
-	mb, err := s.RatioMap(b)
+	vb, err := s.clientVec(b)
 	if err != nil {
 		return 0, err
 	}
-	return CosineSimilarity(ma, mb), nil
+	return va.cosine(vb), nil
 }
 
-// maps snapshots the ratio maps of the given nodes (or all nodes if nil).
+// maps snapshots the ratio maps of the given nodes. A nil slice means
+// "every known node"; an empty non-nil slice means "no candidates" and
+// yields an empty snapshot. Callers that build candidate lists dynamically
+// must keep that distinction in mind.
 func (s *Service) maps(nodes []NodeID) (map[NodeID]RatioMap, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -116,34 +135,119 @@ func (s *Service) maps(nodes []NodeID) (map[NodeID]RatioMap, error) {
 	return out, nil
 }
 
+// clientVec returns the compiled ratio vector of one known node.
+func (s *Service) clientVec(node NodeID) (ratioVec, error) {
+	s.mu.RLock()
+	tr, ok := s.trackers[node]
+	s.mu.RUnlock()
+	if !ok {
+		return ratioVec{}, fmt.Errorf("%w: %q", ErrUnknownNode, node)
+	}
+	return tr.vec(), nil
+}
+
+// candidateVecs snapshots the compiled ratio vectors of the given nodes
+// (nil = every known node, empty non-nil = none), deduplicating repeated
+// IDs. The nil ("all nodes") path serves a shared cached snapshot that is
+// only rebuilt after an Observe or Forget, so repeated queries between
+// observations are rebuild-free; callers exclude the query client during
+// scoring, never by copying the snapshot. The returned slice and its
+// vectors are immutable.
+func (s *Service) candidateVecs(nodes []NodeID) ([]nodeVec, error) {
+	if nodes == nil {
+		return s.allVecs(), nil
+	}
+	type entry struct {
+		id NodeID
+		tr *Tracker
+	}
+	s.mu.RLock()
+	list := make([]entry, 0, len(nodes))
+	seen := make(map[NodeID]bool, len(nodes))
+	for _, id := range nodes {
+		tr, ok := s.trackers[id]
+		if !ok {
+			s.mu.RUnlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownNode, id)
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		list = append(list, entry{id, tr})
+	}
+	s.mu.RUnlock()
+	out := make([]nodeVec, len(list))
+	for i, e := range list {
+		out[i] = nodeVec{id: e.id, vec: e.tr.vec()}
+	}
+	return out, nil
+}
+
+// allVecs returns the compiled all-node candidate snapshot, rebuilding it if
+// an Observe or Forget has landed since the last build. Tracker pointers are
+// collected under the service lock, but compilation (usually a per-tracker
+// cache hit) happens outside it so a rebuild never blocks writers.
+func (s *Service) allVecs() []nodeVec {
+	v := s.version.Load()
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.snapVecs != nil && s.snapVersion == v {
+		return s.snapVecs
+	}
+	type entry struct {
+		id NodeID
+		tr *Tracker
+	}
+	s.mu.RLock()
+	list := make([]entry, 0, len(s.trackers))
+	for id, tr := range s.trackers {
+		list = append(list, entry{id, tr})
+	}
+	s.mu.RUnlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+	vecs := make([]nodeVec, len(list))
+	for i, e := range list {
+		vecs[i] = nodeVec{id: e.id, vec: e.tr.vec()}
+	}
+	s.snapVecs, s.snapVersion = vecs, v
+	return vecs
+}
+
 // ClosestTo ranks the candidate nodes by similarity to client and returns
 // the best, with ok=false when CRP has no signal for any candidate.
+//
+// A nil candidates slice ranks client against every known node; an empty
+// non-nil slice means "no candidates" and always reports ok=false. The
+// client itself is never considered a candidate.
 func (s *Service) ClosestTo(client NodeID, candidates []NodeID) (Scored, bool, error) {
-	cm, err := s.RatioMap(client)
+	cv, err := s.clientVec(client)
 	if err != nil {
 		return Scored{}, false, err
 	}
-	maps, err := s.maps(candidates)
+	cands, err := s.candidateVecs(candidates)
 	if err != nil {
 		return Scored{}, false, err
 	}
-	delete(maps, client)
-	best, ok := SelectClosest(cm, maps)
+	best, ok := bestOf(topVecs(cv, cands, 1, client))
 	return best, ok, nil
 }
 
 // TopK returns the k candidates most similar to client.
+//
+// A nil candidates slice ranks client against every known node; an empty
+// non-nil slice means "no candidates" and yields no results. The client
+// itself is never considered a candidate.
 func (s *Service) TopK(client NodeID, candidates []NodeID, k int) ([]Scored, error) {
-	cm, err := s.RatioMap(client)
+	cv, err := s.clientVec(client)
 	if err != nil {
 		return nil, err
 	}
-	maps, err := s.maps(candidates)
+	cands, err := s.candidateVecs(candidates)
 	if err != nil {
 		return nil, err
 	}
-	delete(maps, client)
-	return TopK(cm, maps, k), nil
+	return topVecs(cv, cands, k, client), nil
 }
 
 // ClusterAll clusters every known node with SMF at the given threshold

@@ -197,3 +197,130 @@ func TestServiceConcurrentUse(t *testing.T) {
 		t.Errorf("Nodes = %d, want 4", n)
 	}
 }
+
+// TestServiceCandidatesNilVersusEmpty pins the candidate-slice semantics of
+// ClosestTo and TopK: nil means "rank against every known node", while an
+// empty non-nil slice means "no candidates at all". Callers building
+// candidate lists dynamically must not conflate the two.
+func TestServiceCandidatesNilVersusEmpty(t *testing.T) {
+	s := populateService(t)
+
+	// nil: the whole service is the candidate set (minus the client).
+	best, ok, err := s.ClosestTo("west-0", nil)
+	if err != nil || !ok {
+		t.Fatalf("ClosestTo(nil): ok=%v err=%v", ok, err)
+	}
+	if best.Node == "west-0" {
+		t.Error("ClosestTo(nil) returned the client itself")
+	}
+	ranked, err := s.TopK("west-0", nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(s.Nodes()) - 1; len(ranked) != want {
+		t.Errorf("TopK(nil) ranked %d candidates, want all %d known nodes minus the client", len(ranked), want)
+	}
+
+	// Empty non-nil: no candidates, no signal — and no error.
+	best, ok, err = s.ClosestTo("west-0", []NodeID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || best != (Scored{}) {
+		t.Errorf("ClosestTo(empty) = %+v ok=%v, want zero Scored and ok=false", best, ok)
+	}
+	ranked, err = s.TopK("west-0", []NodeID{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 0 {
+		t.Errorf("TopK(empty) ranked %d candidates, want 0", len(ranked))
+	}
+}
+
+// TestServiceCandidateListEdgeCases pins the remaining candidate-list
+// behaviors the query path must preserve: duplicate IDs rank once, the
+// client is excluded even when listed explicitly, and an unknown candidate
+// is an error.
+func TestServiceCandidateListEdgeCases(t *testing.T) {
+	s := populateService(t)
+
+	ranked, err := s.TopK("west-0", []NodeID{"east-0", "east-0", "west-0", "west-1"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("TopK with duplicates and the client listed ranked %d, want 2: %+v", len(ranked), ranked)
+	}
+	seen := map[NodeID]bool{}
+	for _, sc := range ranked {
+		if sc.Node == "west-0" {
+			t.Error("client ranked as its own candidate")
+		}
+		if seen[sc.Node] {
+			t.Errorf("candidate %s ranked twice", sc.Node)
+		}
+		seen[sc.Node] = true
+	}
+
+	if _, err := s.TopK("west-0", []NodeID{"nope"}, 5); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("TopK with unknown candidate: err=%v, want ErrUnknownNode", err)
+	}
+	if _, _, err := s.ClosestTo("west-0", []NodeID{"nope"}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("ClosestTo with unknown candidate: err=%v, want ErrUnknownNode", err)
+	}
+}
+
+// TestServiceQueriesSeeNewObservations guards the snapshot cache: a query
+// after a new observation must reflect the new state, not a stale compiled
+// snapshot.
+func TestServiceQueriesSeeNewObservations(t *testing.T) {
+	s := NewService()
+	at := t0
+	mustObserve := func(n NodeID, rs ...ReplicaID) {
+		t.Helper()
+		if err := s.Observe(n, at, rs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustObserve("client", "r1")
+	mustObserve("a", "r1")
+	mustObserve("b", "r9")
+
+	best, ok, err := s.ClosestTo("client", nil)
+	if err != nil || !ok || best.Node != "a" {
+		t.Fatalf("ClosestTo = %+v ok=%v err=%v, want a", best, ok, err)
+	}
+
+	// b flips to the client's replica set with heavier overlap; the next
+	// query must see it despite the previously cached snapshot.
+	for i := 0; i < 8; i++ {
+		mustObserve("b", "r1")
+	}
+	ranked, err := s.TopK("client", nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 || ranked[0].Similarity < ranked[1].Similarity {
+		t.Fatalf("TopK after update = %+v", ranked)
+	}
+	sim, err := s.Similarity("client", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim == 0 {
+		t.Error("Similarity(client, b) = 0 after b observed r1; stale snapshot?")
+	}
+
+	// Forget must invalidate too.
+	s.Forget("a")
+	ranked, err = s.TopK("client", nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range ranked {
+		if sc.Node == "a" {
+			t.Error("forgotten node still ranked from cached snapshot")
+		}
+	}
+}

@@ -26,6 +26,15 @@ type Tracker struct {
 	window int           // max probes kept; 0 = unbounded ("all probes")
 	maxAge time.Duration // max probe age relative to the newest; 0 = unbounded
 	probes []probe
+
+	// Derived state, rebuilt lazily: the ratio map and its compiled vector
+	// are cached between observations so repeated queries (the steady state
+	// of a positioning service) stop rebuilding them from the probe window.
+	// dirty is set by Observe and Reset. Expiry keys off the newest probe,
+	// not the wall clock, so a cached map never goes stale between probes.
+	dirty     bool
+	cachedMap RatioMap
+	cachedVec ratioVec
 }
 
 // TrackerOption customizes a Tracker.
@@ -57,7 +66,7 @@ func WithMaxAge(d time.Duration) TrackerOption {
 
 // NewTracker returns an empty tracker.
 func NewTracker(opts ...TrackerOption) *Tracker {
-	t := &Tracker{}
+	t := &Tracker{dirty: true}
 	for _, opt := range opts {
 		opt(t)
 	}
@@ -79,10 +88,15 @@ func (t *Tracker) Observe(at time.Time, replicas ...ReplicaID) {
 	defer t.mu.Unlock()
 	t.probes = append(t.probes, probe{at: at, replicas: cp})
 	t.compactLocked()
+	t.dirty = true
 }
 
-// compactLocked enforces the probe-count and age windows.
+// compactLocked enforces the probe-count and age windows. Both filters
+// compact in place; the vacated tail of the backing array is zeroed so the
+// dropped probes' replica slices become collectable — a long-lived tracker
+// must not pin its entire history through the array tail.
 func (t *Tracker) compactLocked() {
+	before := len(t.probes)
 	if t.window > 0 && len(t.probes) > t.window {
 		drop := len(t.probes) - t.window
 		t.probes = append(t.probes[:0], t.probes[drop:]...)
@@ -103,6 +117,15 @@ func (t *Tracker) compactLocked() {
 		}
 		t.probes = kept
 	}
+	if n := len(t.probes); n < before {
+		if cap(t.probes) >= 64 && n < cap(t.probes)/4 {
+			// A large expiry (long maxAge gap) leaves a mostly-empty backing
+			// array; reallocate instead of carrying it forever.
+			t.probes = append(make([]probe, 0, n), t.probes...)
+		} else {
+			clear(t.probes[n:before])
+		}
+	}
 }
 
 // Len returns the number of probes currently in the window.
@@ -113,23 +136,46 @@ func (t *Tracker) Len() int {
 }
 
 // RatioMap derives the node's current redirection ratio map from the probes
-// in the window. The result is freshly allocated and sums to 1 unless the
-// tracker is empty (in which case it is empty).
+// in the window. The result is freshly allocated (a clone of the cached
+// map) and sums to 1 unless the tracker is empty (in which case it is
+// empty).
 func (t *Tracker) RatioMap() RatioMap {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	m := make(RatioMap)
-	if len(t.probes) == 0 {
-		return m
+	t.refreshLocked()
+	return t.cachedMap.Clone()
+}
+
+// vec returns the compiled form of the current ratio map. The returned
+// vector is immutable and shared: callers must not modify it. This is the
+// Service query path's representation — between observations it costs one
+// mutex acquisition and no allocation.
+func (t *Tracker) vec() ratioVec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.refreshLocked()
+	return t.cachedVec
+}
+
+// refreshLocked rebuilds the cached ratio map and compiled vector if an
+// Observe or Reset invalidated them.
+func (t *Tracker) refreshLocked() {
+	if !t.dirty {
+		return
 	}
-	perProbe := 1 / float64(len(t.probes))
-	for _, p := range t.probes {
-		w := perProbe / float64(len(p.replicas))
-		for _, r := range p.replicas {
-			m[r] += w
+	m := make(RatioMap)
+	if len(t.probes) > 0 {
+		perProbe := 1 / float64(len(t.probes))
+		for _, p := range t.probes {
+			w := perProbe / float64(len(p.replicas))
+			for _, r := range p.replicas {
+				m[r] += w
+			}
 		}
 	}
-	return m
+	t.cachedMap = m
+	t.cachedVec = compileRatioMap(m)
+	t.dirty = false
 }
 
 // LastProbe returns the time of the most recent probe and whether one
@@ -154,4 +200,7 @@ func (t *Tracker) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.probes = nil
+	t.dirty = true
+	t.cachedMap = nil
+	t.cachedVec = ratioVec{}
 }

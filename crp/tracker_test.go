@@ -191,3 +191,59 @@ func TestTrackerWindowTenApproximatesRecentBehaviour(t *testing.T) {
 func timeMinutes(i int) time.Duration {
 	return time.Duration(i) * time.Minute
 }
+
+// leakedTailEntries counts non-zero probe entries lingering in the backing
+// array beyond the tracker's live window — dropped history that compaction
+// failed to release for the garbage collector.
+func leakedTailEntries(tr *Tracker) int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := 0
+	for _, p := range tr.probes[len(tr.probes):cap(tr.probes)] {
+		if p.replicas != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Regression: the in-place window compaction used to leave every dropped
+// probe's replica slice alive in the backing array tail, so a long-lived
+// tracker pinned its entire history. The tail must be zeroed.
+func TestTrackerCompactReleasesDroppedProbes(t *testing.T) {
+	tr := NewTracker(WithWindow(4))
+	for i := 0; i < 500; i++ {
+		tr.Observe(t0.Add(timeMinutes(i)), "r1", "r2")
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("window holds %d probes, want 4", got)
+	}
+	if leaked := leakedTailEntries(tr); leaked != 0 {
+		t.Errorf("%d dropped probes still referenced in the backing array tail", leaked)
+	}
+	m := tr.RatioMap()
+	if !almostEqual(m.Sum(), 1, 1e-9) {
+		t.Errorf("ratio map sum = %v after compaction, want 1", m.Sum())
+	}
+}
+
+// Same leak through the age-based filter: a mass expiry (long probe gap)
+// must not keep the expired probes reachable, whether compaction clears the
+// tail in place or reallocates.
+func TestTrackerMaxAgeCompactReleasesExpiredProbes(t *testing.T) {
+	tr := NewTracker(WithMaxAge(30 * time.Minute))
+	for i := 0; i < 200; i++ {
+		tr.Observe(t0.Add(timeMinutes(i)), "r1", "r2")
+	}
+	// One probe far in the future expires everything before it.
+	tr.Observe(t0.Add(1000*time.Hour), "r9")
+	if got := tr.Len(); got != 1 {
+		t.Fatalf("tracker holds %d probes after mass expiry, want 1", got)
+	}
+	if leaked := leakedTailEntries(tr); leaked != 0 {
+		t.Errorf("%d expired probes still referenced in the backing array tail", leaked)
+	}
+	if got := tr.RatioMap()["r9"]; !almostEqual(got, 1, 1e-12) {
+		t.Errorf("r9 ratio = %v after mass expiry, want 1", got)
+	}
+}

@@ -121,21 +121,25 @@ func (c *CachingClient) Query(name string, qtype dnswire.Type) (msg *dnswire.Mes
 
 // cacheableTTL returns how long resp may be cached: the minimum answer TTL
 // of a successful response. Errors, empty answers and zero TTLs are not
-// cached (negative caching is deliberately out of scope).
+// cached (negative caching is deliberately out of scope). OPT pseudo-records
+// are skipped wherever they appear — their TTL field carries extended
+// rcode/flags, not a lifetime, and a leading OPT must not seed the minimum.
 func cacheableTTL(resp *dnswire.Message) (time.Duration, bool) {
-	if resp.RCode != dnswire.RCodeNoError || len(resp.Answers) == 0 {
+	if resp.RCode != dnswire.RCodeNoError {
 		return 0, false
 	}
-	minTTL := resp.Answers[0].TTL
-	for _, r := range resp.Answers[1:] {
+	var minTTL uint32
+	found := false
+	for _, r := range resp.Answers {
 		if r.Type == dnswire.TypeOPT {
 			continue
 		}
-		if r.TTL < minTTL {
+		if !found || r.TTL < minTTL {
 			minTTL = r.TTL
+			found = true
 		}
 	}
-	if minTTL == 0 {
+	if !found || minTTL == 0 {
 		return 0, false
 	}
 	return time.Duration(minTTL) * time.Second, true

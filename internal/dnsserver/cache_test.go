@@ -37,7 +37,7 @@ type virtualClock struct{ t time.Time }
 
 func (v *virtualClock) now() time.Time { return v.t }
 
-func newCached(t *testing.T, f *fakeQuerier, clock *virtualClock, opts ...CacheOption) *CachingClient {
+func newCached(t *testing.T, f Querier, clock *virtualClock, opts ...CacheOption) *CachingClient {
 	t.Helper()
 	opts = append([]CacheOption{WithCacheClock(clock.now)}, opts...)
 	c, err := NewCachingClient(f, opts...)
@@ -181,6 +181,89 @@ func TestCacheEviction(t *testing.T) {
 	}
 	if got := c.Len(); got > 3 {
 		t.Errorf("cache holds %d entries, cap 3", got)
+	}
+}
+
+// optQuerier answers with an OPT pseudo-record *first* in the answer
+// section, followed by a real A record — the shape that used to corrupt the
+// cache TTL because the minimum was seeded from Answers[0] without skipping
+// OPT.
+type optQuerier struct {
+	calls  int
+	ttl    uint32 // A record TTL
+	optTTL uint32 // OPT "TTL" field (extended rcode/flags, not a lifetime)
+	only   bool   // answer with the OPT record alone
+}
+
+func (f *optQuerier) Query(name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	f.calls++
+	m := &dnswire.Message{
+		Header:    dnswire.Header{ID: uint16(f.calls), Response: true},
+		Questions: []dnswire.Question{{Name: name, Type: qtype, Class: dnswire.ClassIN}},
+		Answers: []dnswire.Record{{
+			Name: ".", Type: dnswire.TypeOPT, Class: dnswire.Class(1232),
+			TTL: f.optTTL, Data: &dnswire.OPTRecord{},
+		}},
+	}
+	if !f.only {
+		m.Answers = append(m.Answers, dnswire.Record{
+			Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: f.ttl,
+			Data: &dnswire.ARecord{Addr: netip.AddrFrom4([4]byte{10, 0, 0, byte(f.calls)})},
+		})
+	}
+	return m, nil
+}
+
+// Regression: a leading OPT pseudo-record must not seed (or corrupt) the
+// cache TTL. An OPT with a zero TTL field used to make the response
+// uncacheable; an OPT with a huge TTL field used to stretch the lifetime
+// when it was the only "answer".
+func TestCacheSkipsLeadingOPTRecord(t *testing.T) {
+	f := &optQuerier{ttl: 20, optTTL: 0}
+	clock := &virtualClock{t: time.Unix(0, 0)}
+	c := newCached(t, f, clock)
+
+	if _, cached, err := c.Query("a.sim.", dnswire.TypeA); err != nil || cached {
+		t.Fatalf("first query: cached=%v err=%v", cached, err)
+	}
+	// Within the A record's 20s TTL: the entry must be served from cache
+	// even though the leading OPT's TTL field is 0.
+	clock.t = clock.t.Add(10 * time.Second)
+	if _, cached, err := c.Query("a.sim.", dnswire.TypeA); err != nil || !cached {
+		t.Fatalf("within A TTL: cached=%v err=%v (leading OPT suppressed caching)", cached, err)
+	}
+	// The lifetime must come from the A record, not the OPT: past the A
+	// record's 20s the entry expires even when the OPT's TTL field is huge.
+	f2 := &optQuerier{ttl: 20, optTTL: 1 << 30}
+	clock2 := &virtualClock{t: time.Unix(0, 0)}
+	c2 := newCached(t, f2, clock2)
+	if _, _, err := c2.Query("b.sim.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	clock2.t = clock2.t.Add(10 * time.Second)
+	if _, cached, err := c2.Query("b.sim.", dnswire.TypeA); err != nil || !cached {
+		t.Fatalf("within A TTL: cached=%v err=%v", cached, err)
+	}
+	clock2.t = clock2.t.Add(11 * time.Second)
+	if _, cached, err := c2.Query("b.sim.", dnswire.TypeA); err != nil || cached {
+		t.Fatalf("past A TTL: cached=%v err=%v (OPT TTL field stretched the lifetime)", cached, err)
+	}
+}
+
+// Regression: a response whose only answer-section record is an OPT
+// pseudo-record has no cacheable TTL at all.
+func TestCacheIgnoresOPTOnlyAnswers(t *testing.T) {
+	f := &optQuerier{only: true, optTTL: 1 << 30}
+	clock := &virtualClock{t: time.Unix(0, 0)}
+	c := newCached(t, f, clock)
+
+	for i := 0; i < 2; i++ {
+		if _, cached, err := c.Query("a.sim.", dnswire.TypeA); err != nil || cached {
+			t.Fatalf("query %d: cached=%v err=%v (OPT-only answer was cached)", i, cached, err)
+		}
+	}
+	if f.calls != 2 {
+		t.Errorf("upstream queried %d times, want 2", f.calls)
 	}
 }
 
