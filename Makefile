@@ -8,8 +8,13 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs the root-package micro-benchmarks, then the daemon stress bench,
+# which compares cheap-op latency with and without concurrent SMF clustering
+# load and writes BENCH_crpd.json (throughput, latency percentiles and the
+# daemon's obs metrics snapshot).
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) run ./cmd/crpbench -exp crpd -quick -out BENCH_crpd.json
 
 vet:
 	$(GO) vet ./...

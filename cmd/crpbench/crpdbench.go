@@ -1,0 +1,527 @@
+// The crpd experiment is not from the paper: it stress-benchmarks the
+// positioning daemon (internal/crpdaemon) over real loopback UDP and answers
+// the question the serial daemon couldn't: do the sub-millisecond cheap ops
+// stay fast while SMF clustering requests hammer the heavy pool?
+//
+// Phase A measures cheap-op (similarity/closest) round-trip latency with
+// only cheap clients running. Phase B repeats the identical cheap load while
+// dedicated clients issue back-to-back distinct_clusters requests. The
+// report — written as JSON when -out is set — carries both phases'
+// throughput and latency percentiles, the p99 contention ratio, and the
+// daemon's full metrics snapshot fetched through the "stats" op.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/crp"
+	"repro/internal/crpdaemon"
+	"repro/internal/obs"
+)
+
+// crpdPhase summarizes one load phase of the daemon bench. The client-side
+// figures are UDP round trips; the handler figures are the daemon's own
+// cheap-op execution latencies for the same window, extracted by diffing
+// stats snapshots taken at the segment boundaries. On an oversubscribed host
+// (GOMAXPROCS=1) the round trip includes time-slicing against the clustering
+// compute itself, so the handler view is the one that isolates what the
+// daemon's split worker pools control: cheap ops never queue behind SMF.
+type crpdPhase struct {
+	Requests         int     `json:"requests"`
+	Seconds          float64 `json:"seconds"`
+	PerSecond        float64 `json:"requests_per_sec"`
+	MeanMicros       float64 `json:"mean_us"`
+	P50Micros        float64 `json:"p50_us"`
+	P90Micros        float64 `json:"p90_us"`
+	P99Micros        float64 `json:"p99_us"`
+	HandlerP50Micros float64 `json:"handler_p50_us"`
+	HandlerP99Micros float64 `json:"handler_p99_us"`
+}
+
+// crpdReport is the BENCH_crpd.json payload.
+type crpdReport struct {
+	Nodes             int          `json:"nodes"`
+	CheapClients      int          `json:"cheap_clients"`
+	RequestsPerClient int          `json:"requests_per_client"`
+	HeavyClients      int          `json:"heavy_clients"`
+	Baseline          crpdPhase    `json:"baseline"`
+	Contended         crpdPhase    `json:"contended"`
+	HeavyRequests     int          `json:"heavy_requests"`
+	HeavyMeanMillis   float64      `json:"heavy_mean_ms"`
+	P99Ratio          float64      `json:"p99_ratio"`
+	HandlerP99Ratio   float64      `json:"handler_p99_ratio"`
+	Stats             obs.Snapshot `json:"stats"`
+}
+
+// runCrpdBench seeds a service, starts the daemon on loopback UDP and runs
+// the two-phase cheap-vs-contended latency comparison.
+func runCrpdBench(quick bool, seed int64, out string) error {
+	metros, perMetro := 30, 25
+	cheapClients, perClient, heavyClients := 8, 800, 2
+	if quick {
+		metros, perMetro = 12, 10
+		cheapClients, perClient = 8, 400
+	}
+
+	svc := crp.NewService(crp.WithWindow(10))
+	nodes, err := seedCrpdService(svc, metros, perMetro, seed)
+	if err != nil {
+		return fmt.Errorf("seeding service: %w", err)
+	}
+
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	d, err := crpdaemon.Serve(pc, svc, crpdaemon.Config{})
+	if err != nil {
+		pc.Close()
+		return fmt.Errorf("starting daemon: %w", err)
+	}
+	defer d.Close()
+
+	fmt.Printf("crpd bench: %d nodes, %d cheap clients x %d requests, %d heavy clients\n",
+		len(nodes), cheapClients, perClient, heavyClients)
+
+	// Warmup: touch every code path once (this primes the service's
+	// compiled-vector caches, the SMF snapshot and the kernel's socket
+	// buffers) so the measured segments don't pay one-time costs in their
+	// tails.
+	if _, _, err := runCheapPhase(d.Addr(), nodes, cheapClients, 50, seed+999); err != nil {
+		return fmt.Errorf("warmup: %w", err)
+	}
+	if _, err := fetchStats(d.Addr()); err != nil {
+		return fmt.Errorf("warmup stats: %w", err)
+	}
+
+	// The two conditions — cheap ops alone vs cheap ops plus clustering
+	// load — are measured in interleaved segments rather than two long
+	// phases, so host-wide drift (GC, scheduler, noisy neighbors) lands on
+	// both latency pools symmetrically instead of biasing one.
+	const trials = 10
+	perSegment := max(perClient/trials, 1)
+	var baseLats, contLats []time.Duration
+	var baseElapsed, contElapsed time.Duration
+	var baseHandler, contHandler obs.HistogramSnapshot
+	var heavyReqs int64
+	var heavyNanos int64
+	for trial := 0; trial < trials; trial++ {
+		before, err := fetchStats(d.Addr())
+		if err != nil {
+			return fmt.Errorf("stats op: %w", err)
+		}
+		lats, elapsed, err := runCheapPhase(d.Addr(), nodes, cheapClients, perSegment, seed+int64(trial)*2)
+		if err != nil {
+			return fmt.Errorf("baseline segment %d: %w", trial, err)
+		}
+		baseLats = append(baseLats, lats...)
+		baseElapsed += elapsed
+		mid, err := fetchStats(d.Addr())
+		if err != nil {
+			return fmt.Errorf("stats op: %w", err)
+		}
+		accumulateCheapHandlers(&baseHandler, before, mid)
+
+		reqs, nanos, stopHeavy, err := startHeavyLoad(d.Addr(), heavyClients)
+		if err != nil {
+			return fmt.Errorf("heavy load: %w", err)
+		}
+		lats, elapsed, err = runCheapPhase(d.Addr(), nodes, cheapClients, perSegment, seed+int64(trial)*2+1)
+		herr := stopHeavy()
+		if err != nil {
+			return fmt.Errorf("contended segment %d: %w", trial, err)
+		}
+		if herr != nil {
+			return fmt.Errorf("heavy load: %w", herr)
+		}
+		contLats = append(contLats, lats...)
+		contElapsed += elapsed
+		after, err := fetchStats(d.Addr())
+		if err != nil {
+			return fmt.Errorf("stats op: %w", err)
+		}
+		accumulateCheapHandlers(&contHandler, mid, after)
+		heavyReqs += reqs.Load()
+		heavyNanos += nanos.Load()
+	}
+	baseline := summarizePhase(baseLats, baseElapsed)
+	contended := summarizePhase(contLats, contElapsed)
+	baseline.HandlerP50Micros = baseHandler.Quantile(0.50) * 1e6
+	baseline.HandlerP99Micros = baseHandler.Quantile(0.99) * 1e6
+	contended.HandlerP50Micros = contHandler.Quantile(0.50) * 1e6
+	contended.HandlerP99Micros = contHandler.Quantile(0.99) * 1e6
+
+	report := crpdReport{
+		Nodes:             len(nodes),
+		CheapClients:      cheapClients,
+		RequestsPerClient: perClient,
+		HeavyClients:      heavyClients,
+		Baseline:          baseline,
+		Contended:         contended,
+		HeavyRequests:     int(heavyReqs),
+	}
+	if heavyReqs > 0 {
+		report.HeavyMeanMillis = float64(heavyNanos) / float64(heavyReqs) / 1e6
+	}
+	if baseline.P99Micros > 0 {
+		report.P99Ratio = contended.P99Micros / baseline.P99Micros
+	}
+	if baseline.HandlerP99Micros > 0 {
+		report.HandlerP99Ratio = contended.HandlerP99Micros / baseline.HandlerP99Micros
+	}
+
+	// Fetch the daemon's own view through the stats op, so the report proves
+	// the instrumentation end to end (non-zero per-op counters/histograms).
+	stats, err := fetchStats(d.Addr())
+	if err != nil {
+		return fmt.Errorf("stats op: %w", err)
+	}
+	report.Stats = *stats
+
+	fmt.Printf("\nbaseline  cheap ops: %6d reqs  %8.0f req/s  p50 %7.0fus  p90 %7.0fus  p99 %7.0fus\n",
+		baseline.Requests, baseline.PerSecond, baseline.P50Micros, baseline.P90Micros, baseline.P99Micros)
+	fmt.Printf("contended cheap ops: %6d reqs  %8.0f req/s  p50 %7.0fus  p90 %7.0fus  p99 %7.0fus\n",
+		contended.Requests, contended.PerSecond, contended.P50Micros, contended.P90Micros, contended.P99Micros)
+	fmt.Printf("heavy load: %d distinct_clusters requests, mean %.2fms\n",
+		report.HeavyRequests, report.HeavyMeanMillis)
+	fmt.Printf("cheap-op handler p99: %.0fus baseline, %.0fus contended -> ratio %.2fx (acceptance target: <= 2x)\n",
+		baseline.HandlerP99Micros, contended.HandlerP99Micros, report.HandlerP99Ratio)
+	fmt.Printf("cheap-op round-trip p99 ratio: %.2fx (includes host-level time slicing at GOMAXPROCS=%d)\n\n",
+		report.P99Ratio, runtime.GOMAXPROCS(0))
+	fmt.Print(renderObsSnapshot("crpd bench", report.Stats))
+
+	if out != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nreport written to %s\n", out)
+	}
+	return nil
+}
+
+// startHeavyLoad launches clients that issue distinct_clusters requests in a
+// paced closed loop (each sleeps 4x the previous request's duration, a ~20%
+// duty cycle per client: clustering is an occasional control-plane query in
+// the paper's use cases, not a saturating stream, and an unpaced loop on a
+// single-core host measures the OS scheduler rather than the daemon). The
+// returned stop function halts the load and reports any client error.
+func startHeavyLoad(addr net.Addr, clients int) (reqs, nanos *atomic.Int64, stop func() error, err error) {
+	reqs, nanos = new(atomic.Int64), new(atomic.Int64)
+	halt := make(chan struct{})
+	var done sync.WaitGroup
+	var clientErr atomic.Value
+	for i := 0; i < clients; i++ {
+		conn, err := net.Dial("udp", addr.String())
+		if err != nil {
+			close(halt)
+			done.Wait()
+			return nil, nil, nil, err
+		}
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			defer conn.Close()
+			req, _ := json.Marshal(crpdaemon.Request{Op: "distinct_clusters", N: 8})
+			buf := make([]byte, 64*1024)
+			for {
+				select {
+				case <-halt:
+					return
+				default:
+				}
+				start := time.Now()
+				if _, err := exchange(conn, req, buf); err != nil {
+					clientErr.Store(fmt.Errorf("distinct_clusters: %w", err))
+					return
+				}
+				elapsed := time.Since(start)
+				reqs.Add(1)
+				nanos.Add(int64(elapsed))
+				select {
+				case <-halt:
+					return
+				case <-time.After(4 * elapsed):
+				}
+			}
+		}()
+	}
+	stop = func() error {
+		close(halt)
+		done.Wait()
+		if e := clientErr.Load(); e != nil {
+			return e.(error)
+		}
+		return nil
+	}
+	return reqs, nanos, stop, nil
+}
+
+// seedCrpdService populates svc with metros*perMetro nodes. Nodes in the
+// same metro see the same dominant replicas with small per-node noise, so
+// the similarity structure (and therefore SMF clustering cost) resembles the
+// paper's wide-area topology.
+func seedCrpdService(svc *crp.Service, metros, perMetro int, seed int64) ([]string, error) {
+	rng := rand.New(rand.NewSource(seed))
+	base := time.Unix(1_700_000_000, 0)
+	nodes := make([]string, 0, metros*perMetro)
+	for m := 0; m < metros; m++ {
+		local := []string{
+			fmt.Sprintf("m%02d-r0", m),
+			fmt.Sprintf("m%02d-r1", m),
+			fmt.Sprintf("m%02d-r2", m),
+		}
+		for n := 0; n < perMetro; n++ {
+			id := fmt.Sprintf("m%02d-n%03d", m, n)
+			nodes = append(nodes, id)
+			for probe := 0; probe < 10; probe++ {
+				var replica string
+				switch r := rng.Float64(); {
+				case r < 0.65:
+					replica = local[0]
+				case r < 0.85:
+					replica = local[1]
+				case r < 0.95:
+					replica = local[2]
+				default:
+					// Cross-metro noise: occasionally redirected far away.
+					replica = fmt.Sprintf("m%02d-r0", rng.Intn(metros))
+				}
+				at := base.Add(time.Duration(probe) * time.Minute)
+				if err := svc.Observe(crp.NodeID(id), at, crp.ReplicaID(replica)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return nodes, nil
+}
+
+// runCheapPhase fires clients concurrent lockstep request/reply loops of
+// cheap ops (alternating similarity and closest) and returns every observed
+// round-trip latency plus the phase's wall-clock duration.
+func runCheapPhase(addr net.Addr, nodes []string, clients, perClient int, seed int64) ([]time.Duration, time.Duration, error) {
+	var wg sync.WaitGroup
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats[c], errs[c] = cheapClientLoop(addr, nodes, perClient, seed+int64(c)*7919)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	all := make([]time.Duration, 0, clients*perClient)
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			return nil, 0, fmt.Errorf("client %d: %w", c, errs[c])
+		}
+		all = append(all, lats[c]...)
+	}
+	return all, elapsed, nil
+}
+
+func cheapClientLoop(addr net.Addr, nodes []string, requests int, seed int64) ([]time.Duration, error) {
+	rng := rand.New(rand.NewSource(seed))
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	buf := make([]byte, 64*1024)
+	lats := make([]time.Duration, 0, requests)
+	for i := 0; i < requests; i++ {
+		var req crpdaemon.Request
+		if i%2 == 0 {
+			req = crpdaemon.Request{
+				Op: "similarity",
+				A:  nodes[rng.Intn(len(nodes))],
+				B:  nodes[rng.Intn(len(nodes))],
+			}
+		} else {
+			req = crpdaemon.Request{
+				Op:     "closest",
+				Client: nodes[rng.Intn(len(nodes))],
+				K:      3,
+			}
+		}
+		wire, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		resp, err := exchange(conn, wire, buf)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", req.Op, err)
+		}
+		lats = append(lats, time.Since(start))
+		if !resp.OK {
+			return nil, fmt.Errorf("%s: daemon error: %s", req.Op, resp.Error)
+		}
+	}
+	return lats, nil
+}
+
+// exchange performs one lockstep request/reply round trip and decodes the
+// reply envelope.
+func exchange(conn net.Conn, req []byte, buf []byte) (crpdaemon.Response, error) {
+	if _, err := conn.Write(req); err != nil {
+		return crpdaemon.Response{}, err
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+		return crpdaemon.Response{}, err
+	}
+	n, err := conn.Read(buf)
+	if err != nil {
+		return crpdaemon.Response{}, err
+	}
+	var resp crpdaemon.Response
+	if err := json.Unmarshal(buf[:n], &resp); err != nil {
+		return crpdaemon.Response{}, fmt.Errorf("bad reply: %w", err)
+	}
+	return resp, nil
+}
+
+// fetchStats pulls the daemon's metrics snapshot through the stats op.
+func fetchStats(addr net.Addr) (*obs.Snapshot, error) {
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	req, _ := json.Marshal(crpdaemon.Request{Op: "stats"})
+	resp, err := exchange(conn, req, make([]byte, 64*1024))
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK || resp.Stats == nil {
+		return nil, fmt.Errorf("stats op failed: %s", resp.Error)
+	}
+	return resp.Stats, nil
+}
+
+// accumulateCheapHandlers adds the cheap-op (similarity/closest) handler
+// latency observed between two stats snapshots into agg, by diffing the
+// daemon's per-op histograms bucket by bucket.
+func accumulateCheapHandlers(agg *obs.HistogramSnapshot, before, after *obs.Snapshot) {
+	for _, op := range []string{"similarity", "closest"} {
+		name := "crpd.latency." + op
+		b, a := before.Histograms[name], after.Histograms[name]
+		if len(a.Bounds) == 0 {
+			continue
+		}
+		if len(agg.Bounds) == 0 {
+			agg.Bounds = a.Bounds
+			agg.Counts = make([]uint64, len(a.Counts))
+		}
+		for i := range a.Counts {
+			var prev uint64
+			if i < len(b.Counts) {
+				prev = a.Counts[i] - b.Counts[i]
+			} else {
+				prev = a.Counts[i]
+			}
+			agg.Counts[i] += prev
+			agg.Count += prev
+		}
+		agg.Sum += a.Sum - b.Sum
+	}
+}
+
+// summarizePhase reduces per-request latencies to the phase summary.
+func summarizePhase(lats []time.Duration, elapsed time.Duration) crpdPhase {
+	p := crpdPhase{Requests: len(lats), Seconds: elapsed.Seconds()}
+	if len(lats) == 0 {
+		return p
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, l := range sorted {
+		sum += l
+	}
+	p.PerSecond = float64(len(lats)) / elapsed.Seconds()
+	p.MeanMicros = float64(sum) / float64(len(lats)) / 1e3
+	p.P50Micros = float64(percentileDur(sorted, 0.50)) / 1e3
+	p.P90Micros = float64(percentileDur(sorted, 0.90)) / 1e3
+	p.P99Micros = float64(percentileDur(sorted, 0.99)) / 1e3
+	return p
+}
+
+// percentileDur returns the q-quantile of an ascending latency slice by
+// nearest-rank interpolation.
+func percentileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// renderObsSnapshot formats the non-zero instruments of a snapshot for the
+// terminal: counters and gauges verbatim, histograms reduced to count, mean
+// and tail quantiles.
+func renderObsSnapshot(label string, snap obs.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "obs snapshot [%s]\n", label)
+	names := make([]string, 0, len(snap.Counters))
+	for n, v := range snap.Counters {
+		if v > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-36s %d\n", n, snap.Counters[n])
+	}
+	names = names[:0]
+	for n, v := range snap.Gauges {
+		if v != 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-36s %d (gauge)\n", n, snap.Gauges[n])
+	}
+	names = names[:0]
+	for n, h := range snap.Histograms {
+		if h.Count > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		fmt.Fprintf(&b, "  %-36s count=%d mean=%s p50=%s p99=%s\n", n, h.Count,
+			fmtSeconds(h.Mean()), fmtSeconds(h.Quantile(0.50)), fmtSeconds(h.Quantile(0.99)))
+	}
+	return b.String()
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// dumpObs prints the process-wide registry after an experiment, so every
+// crpbench run leaves a metrics trail alongside its tables.
+func dumpObs(label string) {
+	fmt.Print(renderObsSnapshot(label, obs.Default().Snapshot()))
+	fmt.Println()
+}

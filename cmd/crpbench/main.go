@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations|kernels] [-quick] [-seed N]
+//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations|kernels|crpd] [-quick] [-seed N] [-out FILE]
 //
-// The kernels experiment is not from the paper: it compares the map-based
-// similarity path (Dot + two Norms per pair) against the compiled-vector
-// kernel the query surface runs on, at service scale.
+// The kernels and crpd experiments are not from the paper: kernels compares
+// the map-based similarity path (Dot + two Norms per pair) against the
+// compiled-vector kernel the query surface runs on, at service scale; crpd
+// stress-benchmarks the positioning daemon over loopback UDP, comparing
+// cheap-op latency with and without concurrent SMF clustering load, and
+// writes the report (with the daemon's metrics snapshot) to -out.
+//
+// Every experiment dumps the process-wide obs metrics snapshot when it
+// finishes, so each run leaves instrumentation data alongside its tables.
 //
 // The default configuration matches the paper's scale (1,000 client DNS
 // servers, 240 candidate servers); -quick runs a reduced configuration for
@@ -33,16 +39,21 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("crpbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations, kernels")
+	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations, kernels, crpd")
 	quick := fs.Bool("quick", false, "run a reduced-scale configuration")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	out := fs.String("out", "", "write the crpd bench report JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	// The kernel comparison is a pure micro-benchmark: no scenario build.
+	// The kernel comparison and the daemon stress bench are pure
+	// micro-benchmarks: no scenario build.
 	if *exp == "kernels" {
 		return runKernels(*quick)
+	}
+	if *exp == "crpd" {
+		return runCrpdBench(*quick, *seed, *out)
 	}
 
 	params := experiment.DefaultScenarioParams()
@@ -89,6 +100,9 @@ func run(args []string) error {
 	if want("fig5") {
 		fmt.Println(experiment.RenderFig5(closest))
 	}
+	if want("fig4") || want("fig5") {
+		dumpObs("closest-node experiment")
+	}
 
 	if want("table1") || want("fig6") || want("fig7") {
 		ran = true
@@ -105,6 +119,7 @@ func run(args []string) error {
 		if want("fig7") {
 			fmt.Println(experiment.RenderFig7(clusters))
 		}
+		dumpObs("clustering experiment")
 	}
 
 	if want("fig8") {
@@ -116,6 +131,7 @@ func run(args []string) error {
 		}
 		fmt.Println(experiment.RenderRankSeries(
 			"Fig. 8 — average rank vs probe interval (lower rank is better)", series))
+		dumpObs("probe-interval sweep")
 	}
 
 	if want("fig9") {
@@ -126,6 +142,7 @@ func run(args []string) error {
 		}
 		fmt.Println(experiment.RenderRankSeries(
 			"Fig. 9 — average rank vs probe window size", series))
+		dumpObs("window sweep")
 	}
 
 	if want("repair") {
@@ -139,6 +156,7 @@ func run(args []string) error {
 			return fmt.Errorf("path repair: %w", err)
 		}
 		fmt.Println(experiment.RenderPathRepair(outcome))
+		dumpObs("path repair")
 	}
 
 	if want("sec6") {
@@ -156,6 +174,7 @@ func run(args []string) error {
 			return fmt.Errorf("bootstrap study: %w", err)
 		}
 		fmt.Println(experiment.RenderBootstrap(points, 10*time.Minute))
+		dumpObs("sec6 studies")
 	}
 
 	if want("ablations") {
@@ -163,10 +182,11 @@ func run(args []string) error {
 		if err := runAblations(sc, params, probeCfg, clusterCfg); err != nil {
 			return err
 		}
+		dumpObs("ablations")
 	}
 
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of: all fig4 fig5 table1 fig6 fig7 fig8 fig9 repair sec6 ablations kernels)", *exp)
+		return fmt.Errorf("unknown experiment %q (want one of: all fig4 fig5 table1 fig6 fig7 fig8 fig9 repair sec6 ablations kernels crpd)", *exp)
 	}
 	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

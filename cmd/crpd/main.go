@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	crpd [-listen 127.0.0.1:5353] [-window 10]
+//	crpd [-listen 127.0.0.1:5353] [-window 10] [-state FILE]
+//	     [-cheap-workers N] [-heavy-workers N] [-queue N] [-timeout 5s]
 //
 // Request shapes:
 //
@@ -18,8 +19,16 @@
 //	{"op":"same_cluster","node":"n1","threshold":0.1}
 //	{"op":"distinct_clusters","n":3,"threshold":0.1}
 //	{"op":"nodes"}
+//	{"op":"stats"}
 //
-// Every response carries {"ok":true,...} or {"ok":false,"error":"..."}.
+// Every response carries {"ok":true,...} or {"ok":false,"error":"..."};
+// replies to requests that overran the daemon's deadline additionally set
+// "timedOut":true. The "stats" op returns the daemon's metrics snapshot —
+// per-op counts, errors and latency histograms — as JSON.
+//
+// Requests are served by two bounded worker pools (cheap ops and SMF
+// clustering ops), so clustering load never head-of-line-blocks the cheap
+// queries; see internal/crpdaemon.
 package main
 
 import (
@@ -31,8 +40,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/crp"
+	"repro/internal/crpdaemon"
 )
 
 func main() {
@@ -47,6 +58,10 @@ func run(args []string) error {
 	listen := flags.String("listen", "127.0.0.1:5353", "UDP address to listen on")
 	window := flags.Int("window", 10, "probe window per node (0 = unbounded)")
 	statePath := flags.String("state", "", "snapshot file: loaded at startup, written on shutdown")
+	cheapWorkers := flags.Int("cheap-workers", 0, "workers for cheap ops (0 = max(4, NumCPU))")
+	heavyWorkers := flags.Int("heavy-workers", 0, "workers for clustering ops (0 = max(1, NumCPU/2))")
+	queueDepth := flags.Int("queue", 0, "per-pool queue depth (0 = 256)")
+	timeout := flags.Duration("timeout", 5*time.Second, "per-request deadline")
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
@@ -69,31 +84,29 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	d := newDaemon(svc)
-	fmt.Printf("crpd listening on %s (window %d)\n", pc.LocalAddr(), *window)
-
-	// On SIGINT/SIGTERM: snapshot, then stop serving by closing the socket.
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		<-sig
-		if *statePath != "" {
-			if err := saveState(svc, *statePath); err != nil {
-				fmt.Fprintln(os.Stderr, "crpd: save state:", err)
-			}
-		}
+	d, err := crpdaemon.Serve(pc, svc, crpdaemon.Config{
+		CheapWorkers: *cheapWorkers,
+		HeavyWorkers: *heavyWorkers,
+		QueueDepth:   *queueDepth,
+		Timeout:      *timeout,
+	})
+	if err != nil {
 		pc.Close()
-	}()
-
-	err = d.serve(pc)
-	select {
-	case <-done:
-		return nil // clean shutdown via signal
-	default:
 		return err
 	}
+	fmt.Printf("crpd listening on %s (window %d)\n", d.Addr(), *window)
+
+	// On SIGINT/SIGTERM: snapshot, then stop serving. Close drains
+	// in-flight handlers before returning.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	if *statePath != "" {
+		if err := saveState(svc, *statePath); err != nil {
+			fmt.Fprintln(os.Stderr, "crpd: save state:", err)
+		}
+	}
+	return d.Close()
 }
 
 func loadState(svc *crp.Service, path string) error {

@@ -7,7 +7,27 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// Service-level instruments, registered in the default obs registry and
+// shared by every Service in the process: mutation/query volumes and the
+// effectiveness of the compiled all-nodes snapshot cache. Incrementing a
+// counter is one atomic add, so the hot paths stay allocation-free.
+var svcMetrics = struct {
+	observes         *obs.Counter
+	queries          *obs.Counter // point queries: ratio map, similarity, ranking
+	clusterQueries   *obs.Counter // queries that run a full SMF pass
+	snapshotHits     *obs.Counter // all-nodes snapshot served from cache
+	snapshotRebuilds *obs.Counter // all-nodes snapshot recompiled after a mutation
+}{
+	observes:         obs.Default().Counter("crp.service.observes"),
+	queries:          obs.Default().Counter("crp.service.queries"),
+	clusterQueries:   obs.Default().Counter("crp.service.cluster_queries"),
+	snapshotHits:     obs.Default().Counter("crp.service.snapshot.hits"),
+	snapshotRebuilds: obs.Default().Counter("crp.service.snapshot.rebuilds"),
+}
 
 // Service is the stand-alone CRP positioning service sketched in the paper's
 // §III-B: it maintains redirection trackers for many nodes and answers the
@@ -63,6 +83,7 @@ func (s *Service) Observe(node NodeID, at time.Time, replicas ...ReplicaID) erro
 	s.mu.Unlock()
 	tr.Observe(at, replicas...)
 	s.version.Add(1)
+	svcMetrics.observes.Inc()
 	return nil
 }
 
@@ -88,6 +109,7 @@ func (s *Service) Nodes() []NodeID {
 
 // RatioMap returns the node's current ratio map.
 func (s *Service) RatioMap(node NodeID) (RatioMap, error) {
+	svcMetrics.queries.Inc()
 	s.mu.RLock()
 	tr, ok := s.trackers[node]
 	s.mu.RUnlock()
@@ -100,6 +122,7 @@ func (s *Service) RatioMap(node NodeID) (RatioMap, error) {
 // Similarity returns the cosine similarity between two nodes' current ratio
 // maps, computed on their cached compiled vectors.
 func (s *Service) Similarity(a, b NodeID) (float64, error) {
+	svcMetrics.queries.Inc()
 	va, err := s.clientVec(a)
 	if err != nil {
 		return 0, err
@@ -193,8 +216,10 @@ func (s *Service) allVecs() []nodeVec {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	if s.snapVecs != nil && s.snapVersion == v {
+		svcMetrics.snapshotHits.Inc()
 		return s.snapVecs
 	}
+	svcMetrics.snapshotRebuilds.Inc()
 	type entry struct {
 		id NodeID
 		tr *Tracker
@@ -221,6 +246,7 @@ func (s *Service) allVecs() []nodeVec {
 // non-nil slice means "no candidates" and always reports ok=false. The
 // client itself is never considered a candidate.
 func (s *Service) ClosestTo(client NodeID, candidates []NodeID) (Scored, bool, error) {
+	svcMetrics.queries.Inc()
 	cv, err := s.clientVec(client)
 	if err != nil {
 		return Scored{}, false, err
@@ -239,6 +265,7 @@ func (s *Service) ClosestTo(client NodeID, candidates []NodeID) (Scored, bool, e
 // non-nil slice means "no candidates" and yields no results. The client
 // itself is never considered a candidate.
 func (s *Service) TopK(client NodeID, candidates []NodeID, k int) ([]Scored, error) {
+	svcMetrics.queries.Inc()
 	cv, err := s.clientVec(client)
 	if err != nil {
 		return nil, err
@@ -253,6 +280,7 @@ func (s *Service) TopK(client NodeID, candidates []NodeID, k int) ([]Scored, err
 // ClusterAll clusters every known node with SMF at the given threshold
 // (§IV-B query 2: "given a set of nodes, map each node to a cluster").
 func (s *Service) ClusterAll(cfg ClusterConfig) ([]Cluster, error) {
+	svcMetrics.clusterQueries.Inc()
 	maps, err := s.maps(nil)
 	if err != nil {
 		return nil, err

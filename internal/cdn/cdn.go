@@ -19,7 +19,21 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
+
+// Mapping-decision instruments, registered in the default obs registry:
+// how often the mapping system localizes an answer versus handing out the
+// global default set (the "owned-domain" answers CRP clients filter).
+var metrics = struct {
+	redirects *obs.Counter // localized answers from the neighbor set
+	fallbacks *obs.Counter // sparse-coverage fallback to the default set
+	globals   *obs.Counter // global-name answers (never localized)
+}{
+	redirects: obs.Default().Counter("cdn.redirects.localized"),
+	fallbacks: obs.Default().Counter("cdn.redirects.fallback"),
+	globals:   obs.Default().Counter("cdn.redirects.global"),
+}
 
 // Hash domains for the CDN's own noise sources.
 const (
@@ -325,6 +339,7 @@ func (n *Network) Redirect(name string, ldns netsim.HostID, at time.Duration) ([
 	}
 	// Global names are answered from the default server set for everyone.
 	if n.isGlobal[name] {
+		metrics.globals.Inc()
 		out := n.fallback[ni]
 		k := min(n.cfg.AnswerCount, len(out))
 		return append([]netsim.HostID(nil), out[:k]...), nil
@@ -357,6 +372,7 @@ func (n *Network) Redirect(name string, ldns netsim.HostID, at time.Duration) ([
 	// Sparse-coverage fallback: if even the best answer is far, hand out the
 	// global default servers, as Akamai does for poorly-covered regions.
 	if len(ranked) == 0 || ranked[0].rtt > n.cfg.FallbackThresholdMs {
+		metrics.fallbacks.Inc()
 		out := n.fallback[ni]
 		k := min(n.cfg.AnswerCount, len(out))
 		return append([]netsim.HostID(nil), out[:k]...), nil
@@ -368,6 +384,7 @@ func (n *Network) Redirect(name string, ldns netsim.HostID, at time.Duration) ([
 	// way; for CRP it means nearby-but-not-identical vantage points share
 	// some low-frequency replicas, giving cosine similarity its full
 	// dynamic range rather than a near/far binary.
+	metrics.redirects.Inc()
 	k := min(n.cfg.AnswerCount, len(ranked))
 	out := make([]netsim.HostID, 0, k)
 	used := make(map[int]bool, k)

@@ -1,0 +1,513 @@
+// Package crpdaemon implements the CRP positioning daemon behind cmd/crpd:
+// a JSON-over-UDP front end to a crp.Service, built for concurrent load.
+//
+// Requests are read by a single socket loop and dispatched to one of two
+// bounded worker pools: cheap ops (observe, similarity, closest, ...) and
+// heavy ops (the SMF clustering queries), so a burst of clustering requests
+// cannot head-of-line-block the sub-millisecond queries. Every request
+// carries a deadline from the moment it is read; requests that overstay it
+// — in the queue or in a handler — get a structured timeout reply instead
+// of a silent drop. Close follows the managed-goroutine pattern of
+// dnsserver.Server: idempotent, stops the socket loop, and drains queued
+// and in-flight handlers before returning.
+//
+// Every stage is instrumented through internal/obs: per-op request/error
+// counts and latency histograms, an in-flight gauge, and counters for the
+// failure paths (socket errors, queue rejections, timeouts, oversized
+// replies). The "stats" op exports the registry snapshot to clients.
+package crpdaemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/crp"
+	"repro/internal/obs"
+)
+
+// Request is the union of all operation payloads, one JSON object per UDP
+// datagram.
+type Request struct {
+	Op         string   `json:"op"`
+	Node       string   `json:"node,omitempty"`
+	Replicas   []string `json:"replicas,omitempty"`
+	A          string   `json:"a,omitempty"`
+	B          string   `json:"b,omitempty"`
+	Client     string   `json:"client,omitempty"`
+	Candidates []string `json:"candidates,omitempty"`
+	K          int      `json:"k,omitempty"`
+	N          int      `json:"n,omitempty"`
+	// Threshold is a pointer so that an explicit 0 — a valid SMF boundary
+	// threshold — is distinguishable from an absent field (which means
+	// crp.DefaultThreshold).
+	Threshold *float64 `json:"threshold,omitempty"`
+}
+
+// Response is the generic reply envelope.
+type Response struct {
+	OK         bool               `json:"ok"`
+	Error      string             `json:"error,omitempty"`
+	TimedOut   bool               `json:"timedOut,omitempty"`
+	Similarity *float64           `json:"similarity,omitempty"`
+	RatioMap   map[string]float64 `json:"ratioMap,omitempty"`
+	Nodes      []string           `json:"nodes,omitempty"`
+	Ranked     []RankedNode       `json:"ranked,omitempty"`
+	Stats      *obs.Snapshot      `json:"stats,omitempty"`
+}
+
+// RankedNode is one entry of a "closest" reply.
+type RankedNode struct {
+	Node       string  `json:"node"`
+	Similarity float64 `json:"similarity"`
+}
+
+// MaxReplySize is the largest reply the daemon will put on the wire: the
+// IPv4 UDP payload limit. Larger replies (e.g., a ratio map over tens of
+// thousands of replicas) would be rejected by the kernel after the fact, so
+// the daemon detects them and answers with a structured error instead.
+const MaxReplySize = 65507
+
+// Config tunes the daemon. The zero value picks production defaults.
+type Config struct {
+	// CheapWorkers is the pool size for cheap ops (default max(4, NumCPU)).
+	CheapWorkers int
+	// HeavyWorkers is the pool size for clustering ops
+	// (default max(1, NumCPU/2)).
+	HeavyWorkers int
+	// QueueDepth bounds each pool's backlog (default 256). A full queue
+	// rejects with a structured "server busy" error rather than stalling
+	// the socket loop.
+	QueueDepth int
+	// Timeout is the per-request deadline, measured from the moment the
+	// datagram is read (default 5s). Requests that exceed it — waiting or
+	// executing — receive {"ok":false,"timedOut":true,...}.
+	Timeout time.Duration
+	// Registry receives the daemon's instruments (default obs.Default()).
+	Registry *obs.Registry
+	// Now is the daemon's clock (default time.Now; injectable for tests).
+	Now func() time.Time
+	// Hook, when non-nil, runs at the start of every handler with the
+	// request op. Test-only seam for holding handlers in flight.
+	Hook func(op string)
+}
+
+func (c *Config) fillDefaults() {
+	if c.CheapWorkers <= 0 {
+		c.CheapWorkers = max(4, runtime.NumCPU())
+	}
+	if c.HeavyWorkers <= 0 {
+		c.HeavyWorkers = max(1, runtime.NumCPU()/2)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// task is one admitted request moving through a worker pool.
+type task struct {
+	req      Request
+	from     net.Addr
+	deadline time.Time
+}
+
+// Daemon serves a crp.Service over a PacketConn. Create it with Serve and
+// stop it with Close.
+type Daemon struct {
+	svc *crp.Service
+	cfg Config
+	reg *obs.Registry
+	now func() time.Time
+	pc  net.PacketConn
+
+	cheapQ chan task
+	heavyQ chan task
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+
+	// writeMu serializes WriteTo calls. PacketConn writes are documented as
+	// concurrency-safe, but serializing keeps reply interleaving fair under
+	// heavy fan-out and gives the write-error counter a stable meaning.
+	writeMu sync.Mutex
+
+	inflight  *obs.Gauge
+	readErrs  *obs.Counter
+	writeErrs *obs.Counter
+	badReqs   *obs.Counter
+	rejected  *obs.Counter
+	timeouts  *obs.Counter
+	oversized *obs.Counter
+	reqCount  map[string]*obs.Counter
+	errCount  map[string]*obs.Counter
+	latency   map[string]*obs.Histogram
+}
+
+// ops is the full operation set; heavy ops run a full SMF clustering pass
+// over every known node and get their own pool.
+var ops = map[string]bool{ // op -> heavy
+	"observe":           false,
+	"ratio_map":         false,
+	"similarity":        false,
+	"closest":           false,
+	"nodes":             false,
+	"stats":             false,
+	"same_cluster":      true,
+	"distinct_clusters": true,
+}
+
+// Serve starts answering datagrams arriving on pc. The daemon owns pc after
+// this call and closes it in Close.
+func Serve(pc net.PacketConn, svc *crp.Service, cfg Config) (*Daemon, error) {
+	if pc == nil {
+		return nil, errors.New("crpdaemon: nil PacketConn")
+	}
+	if svc == nil {
+		return nil, errors.New("crpdaemon: nil Service")
+	}
+	cfg.fillDefaults()
+	d := &Daemon{
+		svc:    svc,
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		now:    cfg.Now,
+		pc:     pc,
+		cheapQ: make(chan task, cfg.QueueDepth),
+		heavyQ: make(chan task, cfg.QueueDepth),
+		closed: make(chan struct{}),
+
+		inflight:  cfg.Registry.Gauge("crpd.inflight"),
+		readErrs:  cfg.Registry.Counter("crpd.read_errors"),
+		writeErrs: cfg.Registry.Counter("crpd.write_errors"),
+		badReqs:   cfg.Registry.Counter("crpd.bad_requests"),
+		rejected:  cfg.Registry.Counter("crpd.rejected"),
+		timeouts:  cfg.Registry.Counter("crpd.timeouts"),
+		oversized: cfg.Registry.Counter("crpd.oversized_replies"),
+		reqCount:  make(map[string]*obs.Counter, len(ops)),
+		errCount:  make(map[string]*obs.Counter, len(ops)),
+		latency:   make(map[string]*obs.Histogram, len(ops)),
+	}
+	for op := range ops {
+		d.reqCount[op] = cfg.Registry.Counter("crpd.requests." + op)
+		d.errCount[op] = cfg.Registry.Counter("crpd.errors." + op)
+		d.latency[op] = cfg.Registry.Histogram("crpd.latency."+op, nil)
+	}
+
+	for i := 0; i < cfg.CheapWorkers; i++ {
+		d.wg.Add(1)
+		go d.worker(d.cheapQ)
+	}
+	for i := 0; i < cfg.HeavyWorkers; i++ {
+		d.wg.Add(1)
+		go d.worker(d.heavyQ)
+	}
+	d.wg.Add(1)
+	go d.readLoop()
+	return d, nil
+}
+
+// Addr returns the daemon's listening address.
+func (d *Daemon) Addr() net.Addr { return d.pc.LocalAddr() }
+
+// Close stops the daemon: no new requests are admitted, queued requests are
+// drained through the pools, and Close returns once every in-flight handler
+// has finished. It is safe to call concurrently and repeatedly.
+func (d *Daemon) Close() error {
+	d.closeOnce.Do(func() {
+		close(d.closed)
+		d.closeErr = d.pc.Close()
+	})
+	d.wg.Wait()
+	return d.closeErr
+}
+
+// readLoop is the single socket reader: it parses, classifies and admits
+// requests. A failed read or an unparseable datagram never terminates the
+// loop — only closing the daemon does.
+func (d *Daemon) readLoop() {
+	defer d.wg.Done()
+	// Workers exit when their queue is closed and drained; only readLoop
+	// sends on the queues, so it closes them on the way out.
+	defer close(d.cheapQ)
+	defer close(d.heavyQ)
+
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := d.pc.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-d.closed:
+				return
+			default:
+			}
+			// A transient socket error (ICMP-induced, buffer pressure, a
+			// spurious deadline) must not take the daemon down: count it
+			// and keep serving. Only a vanished socket ends the loop.
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			d.readErrs.Inc()
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			// Back off briefly so a persistently failing socket cannot
+			// spin the loop hot.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+
+		var req Request
+		if err := json.Unmarshal(buf[:n], &req); err != nil {
+			d.badReqs.Inc()
+			d.reply(from, Response{Error: fmt.Sprintf("bad request: %v", err)})
+			continue
+		}
+		heavy, known := ops[req.Op]
+		if !known {
+			d.badReqs.Inc()
+			d.reply(from, Response{Error: fmt.Sprintf("unknown op %q", req.Op)})
+			continue
+		}
+
+		q := d.cheapQ
+		if heavy {
+			q = d.heavyQ
+		}
+		t := task{req: req, from: from, deadline: d.now().Add(d.cfg.Timeout)}
+		select {
+		case q <- t:
+		default:
+			d.rejected.Inc()
+			d.errCount[req.Op].Inc()
+			d.reply(from, Response{Error: fmt.Sprintf("server busy: %s queue full", req.Op)})
+		}
+	}
+}
+
+func (d *Daemon) worker(q chan task) {
+	defer d.wg.Done()
+	for t := range q {
+		d.process(t)
+	}
+}
+
+func (d *Daemon) process(t task) {
+	op := t.req.Op
+	d.inflight.Inc()
+	defer d.inflight.Dec()
+	d.reqCount[op].Inc()
+
+	if d.cfg.Hook != nil {
+		d.cfg.Hook(op)
+	}
+
+	start := d.now()
+	if !start.Before(t.deadline) {
+		// The request aged out waiting in the queue; don't burn a worker
+		// computing an answer the client has stopped waiting for.
+		d.timeouts.Inc()
+		d.errCount[op].Inc()
+		d.reply(t.from, Response{
+			Error:    fmt.Sprintf("deadline exceeded: %s queued longer than %v", op, d.cfg.Timeout),
+			TimedOut: true,
+		})
+		return
+	}
+
+	resp := d.dispatch(t.req)
+	elapsed := d.now().Sub(start)
+	d.latency[op].ObserveDuration(elapsed)
+	if !resp.OK {
+		d.errCount[op].Inc()
+	}
+	if end := start.Add(elapsed); end.After(t.deadline) {
+		// The handler finished past the deadline: reply with a structured
+		// timeout so the client can tell "slow server" from packet loss.
+		d.timeouts.Inc()
+		if resp.OK {
+			d.errCount[op].Inc()
+		}
+		resp = Response{
+			Error:    fmt.Sprintf("deadline exceeded: %s took %v (limit %v)", op, elapsed.Round(time.Microsecond), d.cfg.Timeout),
+			TimedOut: true,
+		}
+	}
+	d.reply(t.from, resp)
+}
+
+// reply marshals and sends one response, downgrading oversized replies to a
+// structured error and counting (not propagating) write failures: a failed
+// reply to one client must never take down the service.
+func (d *Daemon) reply(to net.Addr, resp Response) {
+	wire := marshal(resp)
+	if len(wire) > MaxReplySize {
+		d.oversized.Inc()
+		wire = marshal(Response{
+			Error: fmt.Sprintf("response too large: %d bytes exceeds the %d-byte UDP limit; narrow the query", len(wire), MaxReplySize),
+		})
+	}
+	d.writeMu.Lock()
+	_, err := d.pc.WriteTo(wire, to)
+	d.writeMu.Unlock()
+	if err != nil {
+		select {
+		case <-d.closed:
+			// Shutdown-path write failures are expected, not signal.
+		default:
+			d.writeErrs.Inc()
+		}
+	}
+}
+
+// Handle processes one raw request and returns the marshaled reply,
+// applying the same oversize policy as the wire path. It is the synchronous
+// core used by unit tests and by callers embedding the daemon in-process.
+func (d *Daemon) Handle(raw []byte) []byte {
+	var req Request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		d.badReqs.Inc()
+		return marshal(Response{Error: fmt.Sprintf("bad request: %v", err)})
+	}
+	if _, known := ops[req.Op]; !known {
+		d.badReqs.Inc()
+		return marshal(Response{Error: fmt.Sprintf("unknown op %q", req.Op)})
+	}
+	wire := marshal(d.dispatch(req))
+	if len(wire) > MaxReplySize {
+		d.oversized.Inc()
+		wire = marshal(Response{
+			Error: fmt.Sprintf("response too large: %d bytes exceeds the %d-byte UDP limit; narrow the query", len(wire), MaxReplySize),
+		})
+	}
+	return wire
+}
+
+func (d *Daemon) dispatch(req Request) Response {
+	fail := func(err error) Response { return Response{Error: err.Error()} }
+	cfg := crp.ClusterConfig{Threshold: crp.DefaultThreshold, SecondPass: true}
+	if req.Threshold != nil {
+		// Presence-detected: an explicit 0 is the valid boundary threshold,
+		// not a request for the default.
+		cfg.Threshold = *req.Threshold
+	}
+
+	switch req.Op {
+	case "observe":
+		replicas := make([]crp.ReplicaID, len(req.Replicas))
+		for i, r := range req.Replicas {
+			replicas[i] = crp.ReplicaID(r)
+		}
+		if err := d.svc.Observe(crp.NodeID(req.Node), d.now(), replicas...); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+
+	case "ratio_map":
+		m, err := d.svc.RatioMap(crp.NodeID(req.Node))
+		if err != nil {
+			return fail(err)
+		}
+		out := make(map[string]float64, len(m))
+		for r, f := range m {
+			out[string(r)] = f
+		}
+		return Response{OK: true, RatioMap: out}
+
+	case "similarity":
+		sim, err := d.svc.Similarity(crp.NodeID(req.A), crp.NodeID(req.B))
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Similarity: &sim}
+
+	case "closest":
+		k := req.K
+		if k <= 0 {
+			k = 1
+		}
+		// Preserve the nil-vs-empty distinction across the wire: an absent
+		// candidates field means "rank against every known node" (TopK's nil
+		// semantics), while an explicit empty list means "no candidates".
+		var cands []crp.NodeID
+		if req.Candidates != nil {
+			cands = make([]crp.NodeID, len(req.Candidates))
+			for i, c := range req.Candidates {
+				cands[i] = crp.NodeID(c)
+			}
+		}
+		ranked, err := d.svc.TopK(crp.NodeID(req.Client), cands, k)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Ranked: toRanked(ranked)}
+
+	case "same_cluster":
+		peers, err := d.svc.SameCluster(crp.NodeID(req.Node), cfg)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Nodes: toStrings(peers)}
+
+	case "distinct_clusters":
+		n := req.N
+		if n <= 0 {
+			n = 1
+		}
+		nodes, err := d.svc.DistinctClusters(n, cfg)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Nodes: toStrings(nodes)}
+
+	case "nodes":
+		return Response{OK: true, Nodes: toStrings(d.svc.Nodes())}
+
+	case "stats":
+		snap := d.reg.Snapshot()
+		return Response{OK: true, Stats: &snap}
+
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func toStrings(ids []crp.NodeID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
+}
+
+func toRanked(scored []crp.Scored) []RankedNode {
+	out := make([]RankedNode, len(scored))
+	for i, s := range scored {
+		out[i] = RankedNode{Node: string(s.Node), Similarity: s.Similarity}
+	}
+	return out
+}
+
+func marshal(resp Response) []byte {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		// The Response type contains nothing unmarshalable; this is
+		// unreachable, but fail closed with a static error.
+		return []byte(`{"ok":false,"error":"internal marshal failure"}`)
+	}
+	return b
+}

@@ -1,0 +1,337 @@
+package crpdaemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/crp"
+	"repro/internal/obs"
+)
+
+// testDaemon returns an unstarted daemon suitable for driving Handle and
+// dispatch directly, with a deterministic clock and a private registry.
+func testDaemon(opts ...crp.TrackerOption) *Daemon {
+	if len(opts) == 0 {
+		opts = []crp.TrackerOption{crp.WithWindow(10)}
+	}
+	reg := obs.NewRegistry()
+	d := &Daemon{
+		svc:       crp.NewService(opts...),
+		reg:       reg,
+		badReqs:   reg.Counter("crpd.bad_requests"),
+		oversized: reg.Counter("crpd.oversized_replies"),
+	}
+	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	n := 0
+	d.now = func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Minute)
+	}
+	return d
+}
+
+func do(t *testing.T, d *Daemon, req string) Response {
+	t.Helper()
+	var resp Response
+	if err := json.Unmarshal(d.Handle([]byte(req)), &resp); err != nil {
+		t.Fatalf("bad JSON reply: %v", err)
+	}
+	return resp
+}
+
+func seed(t *testing.T, d *Daemon) {
+	t.Helper()
+	for i := 0; i < 5; i++ {
+		for node, reps := range map[string]string{
+			"west-1": `["rw1","rw2"]`,
+			"west-2": `["rw1","rw2"]`,
+			"east-1": `["re1","re2"]`,
+			"east-2": `["re1"]`,
+		} {
+			resp := do(t, d, `{"op":"observe","node":"`+node+`","replicas":`+reps+`}`)
+			if !resp.OK {
+				t.Fatalf("observe failed: %+v", resp)
+			}
+		}
+	}
+}
+
+func TestDaemonObserveAndRatioMap(t *testing.T) {
+	d := testDaemon()
+	seed(t, d)
+	resp := do(t, d, `{"op":"ratio_map","node":"west-1"}`)
+	if !resp.OK || len(resp.RatioMap) != 2 {
+		t.Fatalf("ratio_map = %+v", resp)
+	}
+	sum := 0.0
+	for _, f := range resp.RatioMap {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("ratios sum to %v", sum)
+	}
+}
+
+func TestDaemonSimilarity(t *testing.T) {
+	d := testDaemon()
+	seed(t, d)
+	same := do(t, d, `{"op":"similarity","a":"west-1","b":"west-2"}`)
+	cross := do(t, d, `{"op":"similarity","a":"west-1","b":"east-1"}`)
+	if !same.OK || !cross.OK || same.Similarity == nil || cross.Similarity == nil {
+		t.Fatalf("similarity replies: %+v / %+v", same, cross)
+	}
+	if *same.Similarity <= *cross.Similarity {
+		t.Errorf("same-coast similarity %v not above cross-coast %v",
+			*same.Similarity, *cross.Similarity)
+	}
+	if resp := do(t, d, `{"op":"similarity","a":"west-1","b":"ghost"}`); resp.OK {
+		t.Error("similarity with unknown node should fail")
+	}
+}
+
+func TestDaemonClosest(t *testing.T) {
+	d := testDaemon()
+	seed(t, d)
+	resp := do(t, d, `{"op":"closest","client":"west-1","candidates":["west-2","east-1"],"k":2}`)
+	if !resp.OK || len(resp.Ranked) != 2 {
+		t.Fatalf("closest = %+v", resp)
+	}
+	if resp.Ranked[0].Node != "west-2" {
+		t.Errorf("closest to west-1 = %q, want west-2", resp.Ranked[0].Node)
+	}
+}
+
+func TestDaemonClosestCandidatesNilVsEmpty(t *testing.T) {
+	d := testDaemon()
+	seed(t, d)
+	// An absent candidates field must rank against every known node
+	// (regression: it used to become an empty non-nil slice, i.e. "no
+	// candidates", and every wire query silently got zero results).
+	all := do(t, d, `{"op":"closest","client":"west-1","k":3}`)
+	if !all.OK || len(all.Ranked) != 3 {
+		t.Fatalf("closest without candidates = %+v, want 3 ranked nodes", all)
+	}
+	// An explicit empty list still means "no candidates".
+	none := do(t, d, `{"op":"closest","client":"west-1","candidates":[],"k":3}`)
+	if !none.OK || len(none.Ranked) != 0 {
+		t.Fatalf("closest with empty candidates = %+v, want no results", none)
+	}
+}
+
+func TestDaemonClusterQueries(t *testing.T) {
+	d := testDaemon()
+	seed(t, d)
+	same := do(t, d, `{"op":"same_cluster","node":"west-1"}`)
+	if !same.OK {
+		t.Fatalf("same_cluster = %+v", same)
+	}
+	found := false
+	for _, n := range same.Nodes {
+		if n == "west-2" {
+			found = true
+		}
+		if n == "east-1" || n == "east-2" {
+			t.Errorf("east node %q in west-1's cluster", n)
+		}
+	}
+	if !found {
+		t.Error("west-2 missing from west-1's cluster")
+	}
+
+	distinct := do(t, d, `{"op":"distinct_clusters","n":2}`)
+	if !distinct.OK || len(distinct.Nodes) != 2 {
+		t.Fatalf("distinct_clusters = %+v", distinct)
+	}
+	if distinct.Nodes[0][0] == distinct.Nodes[1][0] {
+		t.Errorf("distinct cluster picks %v from the same coast", distinct.Nodes)
+	}
+}
+
+func TestDaemonNodesAndErrors(t *testing.T) {
+	d := testDaemon()
+	seed(t, d)
+	nodes := do(t, d, `{"op":"nodes"}`)
+	if !nodes.OK || len(nodes.Nodes) != 4 {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+	if resp := do(t, d, `{"op":"warp"}`); resp.OK {
+		t.Error("unknown op should fail")
+	}
+	if resp := do(t, d, `not json`); resp.OK {
+		t.Error("bad JSON should fail")
+	}
+	if resp := do(t, d, `{"op":"observe","node":""}`); resp.OK {
+		t.Error("observe with empty node should fail")
+	}
+}
+
+// TestDaemonThresholdZeroIsHonored is the regression test for the old
+// dispatch treating threshold 0 as "unset" and substituting the default:
+// two node groups with cross-similarity strictly between 0 and 0.1 must
+// cluster together at an explicit threshold 0 and apart at the default.
+func TestDaemonThresholdZeroIsHonored(t *testing.T) {
+	d := testDaemon(crp.WithWindow(0))
+	observe := func(node string, reps []string) {
+		t.Helper()
+		raw, _ := json.Marshal(Request{Op: "observe", Node: node, Replicas: reps})
+		var resp Response
+		if err := json.Unmarshal(d.Handle(raw), &resp); err != nil || !resp.OK {
+			t.Fatalf("observe %s: %+v err %v", node, resp, err)
+		}
+	}
+	// c and x share only the replica "shared", which dominates both maps
+	// but carries a sliver of each node's mass (the rest is spread over
+	// unique replicas): cosine(x, c) ≈ 0.06 ∈ (0, 0.1). "shared" is
+	// strongest in c, so c is the SMF center and x the assignable node.
+	spread := func(node, shared string, sharedCount, uniques int) []string {
+		reps := make([]string, 0, sharedCount+uniques)
+		for i := 0; i < sharedCount; i++ {
+			reps = append(reps, shared)
+		}
+		for i := 0; i < uniques; i++ {
+			reps = append(reps, fmt.Sprintf("%s-r%03d", node, i))
+		}
+		return reps
+	}
+	observe("c", spread("c", "shared", 3, 97))
+	observe("x", spread("x", "shared", 2, 98))
+
+	sim := do(t, d, `{"op":"similarity","a":"x","b":"c"}`)
+	if !sim.OK || sim.Similarity == nil || *sim.Similarity <= 0 || *sim.Similarity >= 0.1 {
+		t.Fatalf("test wants cross-similarity in (0, 0.1), got %+v", sim)
+	}
+
+	atDefault := do(t, d, `{"op":"same_cluster","node":"x"}`)
+	if !atDefault.OK || len(atDefault.Nodes) != 0 {
+		t.Fatalf("default threshold should separate x and c: %+v", atDefault)
+	}
+	atZero := do(t, d, `{"op":"same_cluster","node":"x","threshold":0}`)
+	if !atZero.OK || len(atZero.Nodes) != 1 || atZero.Nodes[0] != "c" {
+		t.Fatalf("explicit threshold 0 must be honored, got %+v", atZero)
+	}
+}
+
+// TestDaemonOversizedReplyIsStructuredError is the regression test for
+// replies above the UDP payload limit being silently undeliverable: a ratio
+// map wide enough to exceed 64 KiB of JSON must yield a structured error.
+func TestDaemonOversizedReplyIsStructuredError(t *testing.T) {
+	d := testDaemon(crp.WithWindow(0)) // unbounded window keeps every replica
+	reps := make([]string, 4000)
+	for i := range reps {
+		reps[i] = fmt.Sprintf("replica-%05d.cdn.example.net", i)
+	}
+	raw, _ := json.Marshal(Request{Op: "observe", Node: "wide", Replicas: reps})
+	var resp Response
+	if err := json.Unmarshal(d.Handle(raw), &resp); err != nil || !resp.OK {
+		t.Fatalf("observe: %+v err %v", resp, err)
+	}
+
+	reply := d.Handle([]byte(`{"op":"ratio_map","node":"wide"}`))
+	if len(reply) > MaxReplySize {
+		t.Fatalf("oversized reply escaped: %d bytes", len(reply))
+	}
+	if err := json.Unmarshal(reply, &resp); err != nil {
+		t.Fatalf("reply not JSON: %v", err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "response too large") {
+		t.Fatalf("want structured oversize error, got %+v", resp)
+	}
+	if got := d.oversized.Value(); got != 1 {
+		t.Errorf("oversized counter = %d, want 1", got)
+	}
+}
+
+func TestDaemonStatsOp(t *testing.T) {
+	reg := obs.NewRegistry()
+	d, pc := startDaemon(t, Config{Registry: reg}, crp.WithWindow(10))
+	defer d.Close()
+
+	c := dialDaemon(t, pc)
+	defer c.close()
+	if resp := c.roundTrip(t, `{"op":"observe","node":"n1","replicas":["r1"]}`); !resp.OK {
+		t.Fatalf("observe: %+v", resp)
+	}
+	resp := c.roundTrip(t, `{"op":"stats"}`)
+	if !resp.OK || resp.Stats == nil {
+		t.Fatalf("stats = %+v", resp)
+	}
+	if got := resp.Stats.Counters["crpd.requests.observe"]; got != 1 {
+		t.Errorf("observe counter = %d, want 1", got)
+	}
+	if h, ok := resp.Stats.Histograms["crpd.latency.observe"]; !ok || h.Count != 1 {
+		t.Errorf("observe latency histogram missing or empty: %+v ok=%v", h, ok)
+	}
+	if g, ok := resp.Stats.Gauges["crpd.inflight"]; !ok || g < 0 {
+		t.Errorf("inflight gauge = %d ok=%v", g, ok)
+	}
+}
+
+func TestDaemonOverUDP(t *testing.T) {
+	d, pc := startDaemon(t, Config{}, crp.WithWindow(10))
+	defer d.Close()
+
+	c := dialDaemon(t, pc)
+	defer c.close()
+	resp := c.roundTrip(t, `{"op":"observe","node":"n1","replicas":["r1"]}`)
+	if !resp.OK {
+		t.Fatalf("observe over UDP = %+v", resp)
+	}
+}
+
+// --- wire-test helpers ---
+
+func startDaemon(t *testing.T, cfg Config, opts ...crp.TrackerOption) (*Daemon, net.PacketConn) {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	d, err := Serve(pc, crp.NewService(opts...), cfg)
+	if err != nil {
+		pc.Close()
+		t.Fatal(err)
+	}
+	return d, pc
+}
+
+type testClient struct {
+	conn net.Conn
+	buf  []byte
+}
+
+func dialDaemon(t *testing.T, pc net.PacketConn) *testClient {
+	t.Helper()
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testClient{conn: conn, buf: make([]byte, 64*1024)}
+}
+
+func (c *testClient) close() { c.conn.Close() }
+
+func (c *testClient) roundTrip(t *testing.T, req string) Response {
+	t.Helper()
+	if _, err := c.conn.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.conn.Read(c.buf)
+	if err != nil {
+		t.Fatalf("read reply to %s: %v", req, err)
+	}
+	var resp Response
+	if err := json.Unmarshal(c.buf[:n], &resp); err != nil {
+		t.Fatalf("bad JSON reply: %v", err)
+	}
+	return resp
+}

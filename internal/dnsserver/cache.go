@@ -90,6 +90,7 @@ func (c *CachingClient) Query(name string, qtype dnswire.Type) (msg *dnswire.Mes
 		if now.Before(e.expires) {
 			c.hits++
 			c.mu.Unlock()
+			metrics.cacheHits.Inc()
 			m, err := dnswire.Unpack(e.wire)
 			if err != nil {
 				return nil, false, fmt.Errorf("dnsserver: corrupt cache entry: %w", err)
@@ -100,6 +101,7 @@ func (c *CachingClient) Query(name string, qtype dnswire.Type) (msg *dnswire.Mes
 	}
 	c.misses++
 	c.mu.Unlock()
+	metrics.cacheMisses.Inc()
 
 	resp, err := c.querier.Query(name, qtype)
 	if err != nil {

@@ -3,6 +3,7 @@ package dnsserver
 import (
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -294,6 +295,62 @@ func TestServerCloseIdempotentAndStops(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestServerCloseConcurrent is the regression test for the double-close
+// race: two callers passing a non-blocking <-closed check simultaneously
+// would both close(closed) and panic. With sync.Once every caller returns
+// cleanly and waits for the drain.
+func TestServerCloseConcurrent(t *testing.T) {
+	f := newFixture(t)
+	for round := 0; round < 10; round++ {
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := Serve(pc, f.backend, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := srv.Close(); err != nil {
+					t.Errorf("concurrent Close: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestTCPServerCloseConcurrent covers the same double-close race on the
+// TCP listener variant.
+func TestTCPServerCloseConcurrent(t *testing.T) {
+	f := newFixture(t)
+	for round := 0; round < 10; round++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ServeTCP(l, f.backend, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := srv.Close(); err != nil {
+					t.Errorf("concurrent TCP Close: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
 	}
 }
 

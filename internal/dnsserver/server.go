@@ -7,7 +7,25 @@ import (
 
 	"repro/internal/dnswire"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
+
+// Package-wide instruments, registered in the default obs registry so one
+// snapshot covers every server and cache in the process (there may be many
+// in a simulation). All counters are monotone and race-free.
+var metrics = struct {
+	udpQueries  *obs.Counter
+	tcpQueries  *obs.Counter
+	truncations *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+}{
+	udpQueries:  obs.Default().Counter("dnsserver.queries.udp"),
+	tcpQueries:  obs.Default().Counter("dnsserver.queries.tcp"),
+	truncations: obs.Default().Counter("dnsserver.truncations"),
+	cacheHits:   obs.Default().Counter("dnsserver.cache.hits"),
+	cacheMisses: obs.Default().Counter("dnsserver.cache.misses"),
+}
 
 // Registry maps the source addresses of in-process stub resolvers to the
 // simulated LDNS hosts they represent. A real CDN identifies the querying
@@ -54,8 +72,10 @@ type Server struct {
 	backend  Backend
 	registry *Registry
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Serve starts answering queries arriving on pc using backend. If registry
@@ -83,17 +103,18 @@ func Serve(pc net.PacketConn, backend Backend, registry *Registry) (*Server, err
 // Addr returns the server's listening address.
 func (s *Server) Addr() net.Addr { return s.pc.LocalAddr() }
 
-// Close stops the server and waits for in-flight requests to drain.
+// Close stops the server and waits for in-flight requests to drain. It is
+// safe to call concurrently and repeatedly; every call waits for the drain
+// and returns the socket's close result. (A non-blocking <-s.closed check
+// here would race: two concurrent callers could both pass it and both close
+// the channel, panicking.)
 func (s *Server) Close() error {
-	select {
-	case <-s.closed:
-		return nil
-	default:
-	}
-	close(s.closed)
-	err := s.pc.Close()
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.closeErr = s.pc.Close()
+	})
 	s.wg.Wait()
-	return err
+	return s.closeErr
 }
 
 func (s *Server) readLoop() {
@@ -125,6 +146,7 @@ func (s *Server) readLoop() {
 }
 
 func (s *Server) handle(pkt []byte, from net.Addr) {
+	metrics.udpQueries.Inc()
 	// The payload cap is the classic 512 bytes unless the query advertises
 	// a larger EDNS0 buffer.
 	maxSize := dnswire.MaxUDPPayload
@@ -191,6 +213,7 @@ func buildResponse(backend Backend, registry *Registry, pkt []byte, from net.Add
 	// UDP truncation: drop answers and set TC if oversized; the client will
 	// retry over TCP.
 	if overUDP && len(wire) > maxSize {
+		metrics.truncations.Inc()
 		resp.Answers = nil
 		resp.Truncated = true
 		if wire, err = resp.Pack(); err != nil {

@@ -17,8 +17,10 @@ type TCPServer struct {
 	backend  Backend
 	registry *Registry
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -52,21 +54,21 @@ func ServeTCP(l net.Listener, backend Backend, registry *Registry) (*TCPServer, 
 func (s *TCPServer) Addr() net.Addr { return s.l.Addr() }
 
 // Close stops the server, closes open connections and waits for handlers.
+// Safe to call concurrently and repeatedly (same sync.Once pattern as
+// Server.Close — a non-blocking <-s.closed check would let two concurrent
+// callers both close the channel).
 func (s *TCPServer) Close() error {
-	select {
-	case <-s.closed:
-		return nil
-	default:
-	}
-	close(s.closed)
-	err := s.l.Close()
-	s.mu.Lock()
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.closeErr = s.l.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
 	s.wg.Wait()
-	return err
+	return s.closeErr
 }
 
 func (s *TCPServer) acceptLoop() {
@@ -110,6 +112,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		metrics.tcpQueries.Inc()
 		// TCP responses are not truncated; the only practical bound is the
 		// 16-bit length prefix.
 		wire := buildResponse(s.backend, s.registry, msg, conn.RemoteAddr(), 0xFFFF, false)

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("reqs") != c {
+		t.Error("Counter lookup did not return the registered instance")
+	}
+
+	g := r.Gauge("inflight")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge = %d, want 1", got)
+	}
+	g.Set(-7)
+	if got := g.Value(); got != -7 {
+		t.Errorf("gauge = %d, want -7", got)
+	}
+}
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", nil)
+	c.Inc()
+	g.Inc()
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Error("nil instruments must no-op")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	// Upper bounds are inclusive: 1 lands in bucket 0, 1.5 in bucket 1,
+	// values above every bound land in the overflow slot.
+	for _, v := range []float64{0.5, 1.0, 1.5, 10.0, 99.9, 100.0, 1000.0} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 2, 2, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7", s.Count)
+	}
+	if wantSum := 0.5 + 1 + 1.5 + 10 + 99.9 + 100 + 1000; math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30, 40})
+	// 100 uniform observations in (0, 40]: quantiles should interpolate.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.4)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.5, 20, 1.0},
+		{0.25, 10, 1.0},
+		{0.99, 39.6, 1.0},
+		{1.0, 40, 0.01},
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("q%.2f = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+
+	// Overflow observations clamp to the last finite bound.
+	h2 := newHistogram([]float64{1})
+	h2.Observe(50)
+	if got := h2.Snapshot().Quantile(0.99); got != 1 {
+		t.Errorf("overflow quantile = %v, want clamp to 1", got)
+	}
+
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil) // default latency buckets
+	h.ObserveDuration(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	if math.Abs(s.Sum-0.003) > 1e-12 {
+		t.Errorf("sum = %v, want 0.003", s.Sum)
+	}
+}
+
+// TestHistogramSnapshotConsistency takes snapshots while observers hammer
+// the histogram and checks every snapshot is internally consistent (Count
+// equals the bucket sum by construction, totals only move forward).
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	h := newHistogram([]float64{0.25, 0.5, 0.75})
+	const (
+		writers = 4
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(float64(i%100) / 100)
+			}
+		}(w)
+	}
+
+	var prev uint64
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		var sum uint64
+		for _, c := range s.Counts {
+			sum += c
+		}
+		if s.Count != sum {
+			t.Fatalf("snapshot %d: Count %d != bucket sum %d", i, s.Count, sum)
+		}
+		if s.Count < prev {
+			t.Fatalf("snapshot %d: count went backwards (%d -> %d)", i, prev, s.Count)
+		}
+		prev = s.Count
+	}
+	wg.Wait()
+
+	final := h.Snapshot()
+	if want := uint64(writers * perW); final.Count != want {
+		t.Errorf("final count = %d, want %d", final.Count, want)
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(2)
+	r.Histogram("c", []float64{1, 2}).Observe(1.5)
+
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a"] != 3 || back.Gauges["b"] != 2 {
+		t.Errorf("round trip lost values: %+v", back)
+	}
+	hs := back.Histograms["c"]
+	if hs.Count != 1 || len(hs.Counts) != 3 {
+		t.Errorf("histogram round trip: %+v", hs)
+	}
+}
+
+func TestRegistryConcurrentGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("h", nil).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 1600 {
+		t.Errorf("shared counter = %d, want 1600", got)
+	}
+	if got := r.Histogram("h", nil).Snapshot().Count; got != 1600 {
+		t.Errorf("histogram count = %d, want 1600", got)
+	}
+}
+
+func TestHistogramFirstRegistrationWins(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("h", []float64{1, 2, 3})
+	h2 := r.Histogram("h", []float64{99})
+	if h1 != h2 {
+		t.Fatal("re-registration returned a different histogram")
+	}
+	if got := len(h1.Snapshot().Bounds); got != 3 {
+		t.Errorf("bounds len = %d, want original 3", got)
+	}
+}
