@@ -8,13 +8,16 @@ build:
 test:
 	$(GO) test ./...
 
-# bench runs the root-package micro-benchmarks, then the daemon stress bench,
-# which compares cheap-op latency with and without concurrent SMF clustering
-# load and writes BENCH_crpd.json (throughput, latency percentiles and the
-# daemon's obs metrics snapshot).
+# bench runs the root-package micro-benchmarks, then the daemon stress bench
+# (BENCH_crpd.json: cheap-op latency with and without concurrent SMF
+# clustering load), then the store churn bench at full scale
+# (BENCH_churn.json: query latency under continuous ingestion, sharded store
+# vs the single-snapshot baseline, 50k nodes). Both reports embed provenance
+# metadata (seed, host width, go version, scale knobs).
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 	$(GO) run ./cmd/crpbench -exp crpd -quick -out BENCH_crpd.json
+	$(GO) run ./cmd/crpbench -exp churn -out BENCH_churn.json
 
 vet:
 	$(GO) vet ./...

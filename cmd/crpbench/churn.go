@@ -1,0 +1,300 @@
+// The churn experiment is not from the paper: it answers the scaling
+// question behind the sharded tracker store. A deployed CRP service ingests
+// a continuous stream of redirection observations while serving position
+// queries; with a single compiled all-nodes snapshot, every Observe
+// invalidates the snapshot globally and every query repays an O(N)
+// recompile. The experiment runs the identical interleaved ingest-vs-query
+// workload against both store shapes — the sharded store (production
+// default) and a single-shard full-rebuild store (the pre-sharding
+// baseline) — in the same process and reports query p50/p99, SameCluster
+// latency under ingestion, and the snapshot-rebuild counters that explain
+// the difference. The report lands in BENCH_churn.json via make bench.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/crp"
+	"repro/internal/obs"
+)
+
+// churnModeReport is one store shape's half of the comparison.
+type churnModeReport struct {
+	Mode             string  `json:"mode"`
+	Nodes            int     `json:"nodes"`
+	Observes         int64   `json:"observes"`
+	ObservesPerSec   float64 `json:"observes_per_sec"`
+	Queries          int     `json:"queries"`
+	QueriesPerSec    float64 `json:"queries_per_sec"`
+	QueryMeanMicros  float64 `json:"query_mean_us"`
+	QueryP50Micros   float64 `json:"query_p50_us"`
+	QueryP90Micros   float64 `json:"query_p90_us"`
+	QueryP99Micros   float64 `json:"query_p99_us"`
+	SameClusterRuns  int     `json:"same_cluster_runs"`
+	SameClusterMean  float64 `json:"same_cluster_mean_ms"`
+	SnapshotHits     uint64  `json:"snapshot_hits"`
+	SnapshotRebuilds uint64  `json:"snapshot_rebuilds"`
+	ShardRebuilds    uint64  `json:"shard_rebuilds"`
+}
+
+// churnReport is the BENCH_churn.json payload.
+type churnReport struct {
+	Meta           benchMeta       `json:"meta"`
+	QueryWorkers   int             `json:"query_workers"`
+	IngestTarget   int             `json:"ingest_target_per_sec"`
+	PhaseSeconds   float64         `json:"phase_seconds"`
+	Single         churnModeReport `json:"single_snapshot"`
+	Sharded        churnModeReport `json:"sharded"`
+	P99Improvement float64         `json:"query_p99_improvement"`
+}
+
+// runChurn benchmarks both store shapes under the interleaved workload.
+// nodeCount > 0 overrides the default scale (50k nodes, 4k with -quick).
+func runChurn(quick bool, seed int64, nodeCount int, out string) error {
+	metros, perMetro := 200, 250 // 50k nodes
+	phase := 8 * time.Second
+	ingestRate, clusterRuns := 1500, 2
+	// One closed-loop query worker per core: like the crpd bench's paced
+	// heavy load, running more CPU-bound query loops than cores measures the
+	// scheduler's time-slicing, not the store — every extra worker inflates
+	// both modes' tails with queueing delay that has nothing to compare.
+	queryWorkers := max(runtime.GOMAXPROCS(0), 1)
+	if quick {
+		metros, perMetro = 40, 100 // 4k nodes
+		phase = 2 * time.Second
+		clusterRuns = 1
+	}
+	if nodeCount > 0 {
+		metros = max(10, nodeCount/250)
+		perMetro = max(1, nodeCount/metros)
+	}
+	nodes := metros * perMetro
+
+	fmt.Printf("churn bench: %d nodes, %d query workers, ~%d observes/s for %v per mode\n",
+		nodes, queryWorkers, ingestRate, phase)
+
+	single, err := runChurnMode("single-snapshot",
+		crp.StoreConfig{Shards: 1, FullRebuild: true},
+		metros, perMetro, seed, phase, ingestRate, queryWorkers, clusterRuns)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	sharded, err := runChurnMode("sharded",
+		crp.StoreConfig{}, // production defaults
+		metros, perMetro, seed, phase, ingestRate, queryWorkers, clusterRuns)
+	if err != nil {
+		return err
+	}
+
+	report := churnReport{
+		Meta:         newBenchMeta("churn", seed, quick),
+		QueryWorkers: queryWorkers,
+		IngestTarget: ingestRate,
+		PhaseSeconds: phase.Seconds(),
+		Single:       single,
+		Sharded:      sharded,
+	}
+	report.Meta.Scale["nodes"] = int64(nodes)
+	report.Meta.Scale["metros"] = int64(metros)
+	report.Meta.Scale["query_workers"] = int64(queryWorkers)
+	report.Meta.Scale["ingest_target_per_sec"] = int64(ingestRate)
+	report.Meta.Scale["phase_ms"] = phase.Milliseconds()
+	if sharded.QueryP99Micros > 0 {
+		report.P99Improvement = single.QueryP99Micros / sharded.QueryP99Micros
+	}
+
+	for _, m := range []churnModeReport{single, sharded} {
+		fmt.Printf("\n%-16s %7d queries %8.0f q/s  p50 %8.0fus  p90 %8.0fus  p99 %8.0fus\n",
+			m.Mode, m.Queries, m.QueriesPerSec, m.QueryP50Micros, m.QueryP90Micros, m.QueryP99Micros)
+		fmt.Printf("%-16s %7d observes (%.0f/s)  snapshot hits/rebuilds %d/%d  shard rebuilds %d\n",
+			"", m.Observes, m.ObservesPerSec, m.SnapshotHits, m.SnapshotRebuilds, m.ShardRebuilds)
+		if m.SameClusterRuns > 0 {
+			fmt.Printf("%-16s same_cluster under ingestion: %d runs, mean %.1fms\n",
+				"", m.SameClusterRuns, m.SameClusterMean)
+		}
+	}
+	fmt.Printf("\nquery p99 under continuous ingestion: %.0fus -> %.0fus (%.1fx improvement; acceptance target >= 5x)\n",
+		single.QueryP99Micros, sharded.QueryP99Micros, report.P99Improvement)
+	dumpObs("churn bench")
+
+	if out != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
+	}
+	return nil
+}
+
+// runChurnMode seeds one service and drives the interleaved workload: a
+// paced Observe stream plus closed-loop TopK query workers for the timed
+// phase, then a burst of SameCluster queries with ingestion still running.
+func runChurnMode(name string, storeCfg crp.StoreConfig, metros, perMetro int,
+	seed int64, phase time.Duration, ingestRate, queryWorkers, clusterRuns int) (churnModeReport, error) {
+
+	rep := churnModeReport{Mode: name, Nodes: metros * perMetro}
+
+	svc := crp.NewServiceWithStore(storeCfg, crp.WithWindow(10))
+	nodes, err := seedCrpdService(svc, metros, perMetro, seed)
+	if err != nil {
+		return rep, fmt.Errorf("seeding %s service: %w", name, err)
+	}
+	// Warm the snapshot path so neither mode pays the cold full compile
+	// inside its measured window.
+	if _, err := svc.TopK(crp.NodeID(nodes[0]), nil, 5); err != nil {
+		return rep, err
+	}
+
+	before := obs.Default().Snapshot()
+
+	// Paced ingestion: a continuous Observe stream at ~ingestRate/s, each
+	// probe drawn from the same metro-skewed replica distribution the
+	// seeding used. Timestamps advance monotonically off a shared counter.
+	// Pacing is catch-up batched: each wake sends however many observes are
+	// owed by wall clock, so an oversubscribed host (where a sleeping
+	// goroutine can lose a whole scheduler quantum per wake) still sustains
+	// the target rate instead of collapsing to one observe per quantum. The
+	// batch is capped so a long stall (an SMF pass holding the CPU) produces
+	// a bounded burst, not a retroactive flood.
+	var observes atomic.Int64
+	var clock atomic.Int64
+	base := time.Unix(1_800_000_000, 0)
+	stopIngest := make(chan struct{})
+	var ingestErr atomic.Value
+	var ingestDone sync.WaitGroup
+	maxBatch := max(ingestRate/10, 1)
+	ingestDone.Add(1)
+	go func() {
+		defer ingestDone.Done()
+		rng := rand.New(rand.NewSource(seed + 4242))
+		ingestStart := time.Now()
+		sent := 0
+		for {
+			select {
+			case <-stopIngest:
+				return
+			default:
+			}
+			owed := int(time.Since(ingestStart).Seconds()*float64(ingestRate)) - sent
+			if owed > maxBatch {
+				owed = maxBatch
+			}
+			for i := 0; i < owed; i++ {
+				idx := rng.Intn(len(nodes))
+				m := idx / perMetro
+				var replica string
+				switch r := rng.Float64(); {
+				case r < 0.65:
+					replica = fmt.Sprintf("m%02d-r0", m)
+				case r < 0.85:
+					replica = fmt.Sprintf("m%02d-r1", m)
+				case r < 0.95:
+					replica = fmt.Sprintf("m%02d-r2", m)
+				default:
+					replica = fmt.Sprintf("m%02d-r0", rng.Intn(metros))
+				}
+				at := base.Add(time.Duration(clock.Add(1)) * time.Second)
+				if err := svc.Observe(crp.NodeID(nodes[idx]), at, crp.ReplicaID(replica)); err != nil {
+					ingestErr.Store(err)
+					return
+				}
+			}
+			sent += owed
+			observes.Add(int64(owed))
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Closed-loop TopK workers for the timed phase.
+	deadline := time.Now().Add(phase)
+	lats := make([][]time.Duration, queryWorkers)
+	qErrs := make([]error, queryWorkers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < queryWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			for time.Now().Before(deadline) {
+				client := crp.NodeID(nodes[rng.Intn(len(nodes))])
+				qs := time.Now()
+				if _, err := svc.TopK(client, nil, 5); err != nil {
+					qErrs[w] = err
+					return
+				}
+				lats[w] = append(lats[w], time.Since(qs))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	phaseObserves := observes.Load()
+	var all []time.Duration
+	for w := range lats {
+		if qErrs[w] != nil {
+			close(stopIngest)
+			ingestDone.Wait()
+			return rep, fmt.Errorf("%s query worker %d: %w", name, w, qErrs[w])
+		}
+		all = append(all, lats[w]...)
+	}
+
+	// SameCluster under the same ingestion stream: the full-SMF query the
+	// daemon's heavy pool serves, measured while the snapshot keeps churning.
+	var clusterTotal time.Duration
+	rng := rand.New(rand.NewSource(seed + 31337))
+	for i := 0; i < clusterRuns; i++ {
+		node := crp.NodeID(nodes[rng.Intn(len(nodes))])
+		cs := time.Now()
+		if _, err := svc.SameCluster(node, crp.ClusterConfig{Threshold: crp.DefaultThreshold, SecondPass: true}); err != nil {
+			close(stopIngest)
+			ingestDone.Wait()
+			return rep, fmt.Errorf("%s same_cluster: %w", name, err)
+		}
+		clusterTotal += time.Since(cs)
+	}
+
+	close(stopIngest)
+	ingestDone.Wait()
+	if e := ingestErr.Load(); e != nil {
+		return rep, fmt.Errorf("%s ingest: %w", name, e.(error))
+	}
+	after := obs.Default().Snapshot()
+
+	p := summarizePhase(all, elapsed)
+	rep.Observes = phaseObserves
+	rep.ObservesPerSec = float64(phaseObserves) / elapsed.Seconds()
+	rep.Queries = p.Requests
+	rep.QueriesPerSec = p.PerSecond
+	rep.QueryMeanMicros = p.MeanMicros
+	rep.QueryP50Micros = p.P50Micros
+	rep.QueryP90Micros = p.P90Micros
+	rep.QueryP99Micros = p.P99Micros
+	rep.SameClusterRuns = clusterRuns
+	if clusterRuns > 0 {
+		rep.SameClusterMean = clusterTotal.Seconds() * 1e3 / float64(clusterRuns)
+	}
+	rep.SnapshotHits = counterDelta(before, after, "crp.service.snapshot.hits")
+	rep.SnapshotRebuilds = counterDelta(before, after, "crp.service.snapshot.rebuilds")
+	rep.ShardRebuilds = counterDelta(before, after, "crp.service.snapshot.shard_rebuilds")
+	return rep, nil
+}
+
+// counterDelta returns how much a process-wide counter moved between two
+// registry snapshots.
+func counterDelta(before, after obs.Snapshot, name string) uint64 {
+	return after.Counters[name] - before.Counters[name]
+}

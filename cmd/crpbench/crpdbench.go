@@ -50,6 +50,7 @@ type crpdPhase struct {
 
 // crpdReport is the BENCH_crpd.json payload.
 type crpdReport struct {
+	Meta              benchMeta    `json:"meta"`
 	Nodes             int          `json:"nodes"`
 	CheapClients      int          `json:"cheap_clients"`
 	RequestsPerClient int          `json:"requests_per_client"`
@@ -162,6 +163,7 @@ func runCrpdBench(quick bool, seed int64, out string) error {
 	contended.HandlerP99Micros = contHandler.Quantile(0.99) * 1e6
 
 	report := crpdReport{
+		Meta:              newBenchMeta("crpd", seed, quick),
 		Nodes:             len(nodes),
 		CheapClients:      cheapClients,
 		RequestsPerClient: perClient,
@@ -170,6 +172,10 @@ func runCrpdBench(quick bool, seed int64, out string) error {
 		Contended:         contended,
 		HeavyRequests:     int(heavyReqs),
 	}
+	report.Meta.Scale["nodes"] = int64(len(nodes))
+	report.Meta.Scale["cheap_clients"] = int64(cheapClients)
+	report.Meta.Scale["requests_per_client"] = int64(perClient)
+	report.Meta.Scale["heavy_clients"] = int64(heavyClients)
 	if heavyReqs > 0 {
 		report.HeavyMeanMillis = float64(heavyNanos) / float64(heavyReqs) / 1e6
 	}

@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations|kernels|crpd] [-quick] [-seed N] [-out FILE]
+//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations|kernels|crpd|churn] [-quick] [-seed N] [-nodes N] [-out FILE]
 //
-// The kernels and crpd experiments are not from the paper: kernels compares
-// the map-based similarity path (Dot + two Norms per pair) against the
-// compiled-vector kernel the query surface runs on, at service scale; crpd
-// stress-benchmarks the positioning daemon over loopback UDP, comparing
-// cheap-op latency with and without concurrent SMF clustering load, and
-// writes the report (with the daemon's metrics snapshot) to -out.
+// The kernels, crpd and churn experiments are not from the paper: kernels
+// compares the map-based similarity path (Dot + two Norms per pair) against
+// the compiled-vector kernel the query surface runs on, at service scale;
+// crpd stress-benchmarks the positioning daemon over loopback UDP, comparing
+// cheap-op latency with and without concurrent SMF clustering load; churn
+// interleaves a continuous Observe stream with concurrent TopK/SameCluster
+// query load against both the sharded tracker store and the single-snapshot
+// baseline, reporting query p50/p99 and snapshot-rebuild counts. All three
+// write their report JSON (with provenance metadata) to -out.
 //
 // Every experiment dumps the process-wide obs metrics snapshot when it
 // finishes, so each run leaves instrumentation data alongside its tables.
@@ -39,21 +42,25 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("crpbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations, kernels, crpd")
+	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations, kernels, crpd, churn")
 	quick := fs.Bool("quick", false, "run a reduced-scale configuration")
 	seed := fs.Int64("seed", 1, "simulation seed")
-	out := fs.String("out", "", "write the crpd bench report JSON to this file")
+	nodes := fs.Int("nodes", 0, "override the churn experiment's node count (0 = default scale)")
+	out := fs.String("out", "", "write the bench report JSON (crpd, churn) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	// The kernel comparison and the daemon stress bench are pure
-	// micro-benchmarks: no scenario build.
+	// The kernel comparison, the daemon stress bench and the store churn
+	// bench are pure micro-benchmarks: no scenario build.
 	if *exp == "kernels" {
 		return runKernels(*quick)
 	}
 	if *exp == "crpd" {
 		return runCrpdBench(*quick, *seed, *out)
+	}
+	if *exp == "churn" {
+		return runChurn(*quick, *seed, *nodes, *out)
 	}
 
 	params := experiment.DefaultScenarioParams()
@@ -186,7 +193,7 @@ func run(args []string) error {
 	}
 
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of: all fig4 fig5 table1 fig6 fig7 fig8 fig9 repair sec6 ablations kernels crpd)", *exp)
+		return fmt.Errorf("unknown experiment %q (want one of: all fig4 fig5 table1 fig6 fig7 fig8 fig9 repair sec6 ablations kernels crpd churn)", *exp)
 	}
 	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

@@ -1,0 +1,39 @@
+package main
+
+import "runtime"
+
+// benchMeta is the provenance block embedded in every BENCH_*.json crpbench
+// emits. Bench files used to be bare numbers, which made trajectory
+// comparisons across commits guesswork: a regression is indistinguishable
+// from a run at a different scale, seed, or host width. Every report now
+// records exactly how it was produced.
+type benchMeta struct {
+	Experiment string `json:"experiment"`
+	Seed       int64  `json:"seed"`
+	Quick      bool   `json:"quick"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	// Scale holds the experiment-specific size knobs (node counts, client
+	// counts, durations in seconds) the run actually used, post -quick and
+	// flag overrides.
+	Scale map[string]int64 `json:"scale,omitempty"`
+}
+
+// newBenchMeta captures the run's provenance. Scale knobs are added by the
+// experiment before the report is written.
+func newBenchMeta(experiment string, seed int64, quick bool) benchMeta {
+	return benchMeta{
+		Experiment: experiment,
+		Seed:       seed,
+		Quick:      quick,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		Scale:      make(map[string]int64),
+	}
+}

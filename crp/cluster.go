@@ -88,10 +88,19 @@ func clusterSMF(nodes []Node, cfg ClusterConfig, sim func(a, b NodeID) float64) 
 	copy(sorted, nodes)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
 
+	d := clusterData{
+		ids:  make([]NodeID, len(sorted)),
+		domR: make([]ReplicaID, len(sorted)),
+		domF: make([]float64, len(sorted)),
+	}
+	for i, n := range sorted {
+		d.ids[i] = n.ID
+		d.domR[i], d.domF[i] = dominant(n.Map)
+	}
+
 	// simIdx scores sorted[i] against sorted[j] by index — the O(N·C)
 	// assignment loop must not pay two map lookups per pair. The compiled
 	// kernel backs it unless a map-based sim was injected.
-	var simIdx func(i, j int) float64
 	if sim == nil {
 		// Compile every map once; all O(N·C) similarity work below runs on
 		// the allocation-free merge-join kernel.
@@ -103,11 +112,58 @@ func clusterSMF(nodes []Node, cfg ClusterConfig, sim func(a, b NodeID) float64) 
 		for i, n := range sorted {
 			vecs[n.ID] = compiled[i]
 		}
-		sim = func(a, b NodeID) float64 { return vecs[a].cosine(vecs[b]) }
-		simIdx = func(i, j int) float64 { return compiled[i].cosine(compiled[j]) }
+		d.sim = func(a, b NodeID) float64 { return vecs[a].cosine(vecs[b]) }
+		d.simIdx = func(i, j int) float64 { return compiled[i].cosine(compiled[j]) }
 	} else {
-		simIdx = func(i, j int) float64 { return sim(sorted[i].ID, sorted[j].ID) }
+		d.sim = sim
+		d.simIdx = func(i, j int) float64 { return sim(sorted[i].ID, sorted[j].ID) }
 	}
+	return clusterCore(d, cfg), nil
+}
+
+// clusterVecs is the Service's SMF entry point: it clusters pre-compiled
+// candidate vectors (a flattened store snapshot) directly, skipping the
+// per-node ratio-map clones and recompilation the []Node path pays. The
+// caller guarantees unique, non-empty IDs — the store's invariant. The
+// input slice is reordered in place.
+func clusterVecs(vecs []nodeVec, cfg ClusterConfig) ([]Cluster, error) {
+	if cfg.Threshold < 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("crp: threshold %v outside [0,1]", cfg.Threshold)
+	}
+	sort.Slice(vecs, func(i, j int) bool { return vecs[i].id < vecs[j].id })
+	d := clusterData{
+		ids:  make([]NodeID, len(vecs)),
+		domR: make([]ReplicaID, len(vecs)),
+		domF: make([]float64, len(vecs)),
+	}
+	byID := make(map[NodeID]ratioVec, len(vecs))
+	for i, nv := range vecs {
+		d.ids[i] = nv.id
+		d.domR[i], d.domF[i] = dominantVec(nv.vec)
+		byID[nv.id] = nv.vec
+	}
+	d.sim = func(a, b NodeID) float64 { return byID[a].cosine(byID[b]) }
+	d.simIdx = func(i, j int) float64 { return vecs[i].vec.cosine(vecs[j].vec) }
+	return clusterCore(d, cfg), nil
+}
+
+// clusterData is the per-node input to clusterCore: IDs in ascending order,
+// each node's dominant replica and ratio, and the similarity kernels (by
+// sorted index for the O(N·C) assignment loop, by ID for the second pass).
+type clusterData struct {
+	ids    []NodeID
+	domR   []ReplicaID // "" when the node's map is empty
+	domF   []float64
+	simIdx func(i, j int) float64
+	sim    func(a, b NodeID) float64
+}
+
+// clusterCore runs SMF steps 1–3 over prepared clusterData. Both the
+// map-based and compiled-vector front ends feed it, so the two paths cluster
+// identically by construction.
+func clusterCore(d clusterData, cfg ClusterConfig) []Cluster {
+	sorted := d.ids
+	sim, simIdx := d.sim, d.simIdx
 
 	// Step 1: strongest mapping per replica server → centers.
 	type strongest struct {
@@ -115,13 +171,13 @@ func clusterSMF(nodes []Node, cfg ClusterConfig, sim func(a, b NodeID) float64) 
 		ratio float64
 	}
 	best := make(map[ReplicaID]strongest)
-	for _, n := range sorted {
-		r, f := dominant(n.Map)
+	for i, id := range sorted {
+		r, f := d.domR[i], d.domF[i]
 		if r == "" {
 			continue // empty map: cannot be a center
 		}
 		if cur, ok := best[r]; !ok || f > cur.ratio {
-			best[r] = strongest{n.ID, f}
+			best[r] = strongest{id, f}
 		}
 	}
 	isCenter := make(map[NodeID]bool, len(best))
@@ -131,9 +187,9 @@ func clusterSMF(nodes []Node, cfg ClusterConfig, sim func(a, b NodeID) float64) 
 
 	var centers []NodeID
 	var centerIdx []int // index into sorted, parallel to centers
-	for i, n := range sorted {
-		if isCenter[n.ID] {
-			centers = append(centers, n.ID)
+	for i, id := range sorted {
+		if isCenter[id] {
+			centers = append(centers, id)
 			centerIdx = append(centerIdx, i)
 		}
 	}
@@ -153,8 +209,7 @@ func clusterSMF(nodes []Node, cfg ClusterConfig, sim func(a, b NodeID) float64) 
 	}
 	assigned := make([]assignment, len(sorted))
 	parallelFor(len(sorted), func(i int) {
-		n := sorted[i]
-		if isCenter[n.ID] {
+		if isCenter[sorted[i]] {
 			return
 		}
 		bestCenter, bestSim := NodeID(""), 0.0
@@ -167,16 +222,16 @@ func clusterSMF(nodes []Node, cfg ClusterConfig, sim func(a, b NodeID) float64) 
 		assigned[i] = assignment{center: bestCenter, sim: bestSim}
 	})
 	var singletons []NodeID
-	for i, n := range sorted {
-		if isCenter[n.ID] {
+	for i, id := range sorted {
+		if isCenter[id] {
 			continue
 		}
 		a := assigned[i]
 		if a.center != "" && a.sim >= cfg.Threshold && a.sim > 0 {
 			cl := clusters[a.center]
-			cl.Members = append(cl.Members, n.ID)
+			cl.Members = append(cl.Members, id)
 		} else {
-			singletons = append(singletons, n.ID)
+			singletons = append(singletons, id)
 		}
 	}
 
@@ -227,7 +282,7 @@ func clusterSMF(nodes []Node, cfg ClusterConfig, sim func(a, b NodeID) float64) 
 		}
 		return out[i].Center < out[j].Center
 	})
-	return out, nil
+	return out
 }
 
 // dominant returns the replica with the highest ratio in m and that ratio,
@@ -245,4 +300,21 @@ func dominant(m RatioMap) (ReplicaID, float64) {
 		return "", 0
 	}
 	return bestR, bestF
+}
+
+// dominantVec is dominant over a compiled vector. The IDs are sorted
+// ascending, so keeping the first strict maximum reproduces dominant's
+// smallest-replica tie-break exactly; the values are the same floats the
+// source map holds, so the two paths agree bit for bit.
+func dominantVec(v ratioVec) (ReplicaID, float64) {
+	if len(v.ids) == 0 {
+		return "", 0
+	}
+	bestI := 0
+	for i := 1; i < len(v.vals); i++ {
+		if v.vals[i] > v.vals[bestI] {
+			bestI = i
+		}
+	}
+	return v.ids[bestI], v.vals[bestI]
 }

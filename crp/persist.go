@@ -50,10 +50,8 @@ const snapshotVersion = 1
 func (s *Service) WriteSnapshot(w io.Writer) error {
 	snap := serviceSnapshot{Version: snapshotVersion}
 	for _, id := range s.Nodes() {
-		s.mu.RLock()
-		tr := s.trackers[id]
-		s.mu.RUnlock()
-		if tr == nil {
+		tr, ok := s.store.get(id)
+		if !ok {
 			continue
 		}
 		snap.Nodes = append(snap.Nodes, nodeSnapshot{Node: id, Probes: tr.Probes()})

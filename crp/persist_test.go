@@ -72,9 +72,10 @@ func TestServiceSnapshotReappliesWindow(t *testing.T) {
 	if err := dst.LoadSnapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
-	dst.mu.RLock()
-	tr := dst.trackers["n"]
-	dst.mu.RUnlock()
+	tr, ok := dst.store.get("n")
+	if !ok {
+		t.Fatal("restored service does not know node n")
+	}
 	if got := tr.Len(); got != 5 {
 		t.Errorf("restored tracker holds %d probes, want window of 5", got)
 	}

@@ -1,6 +1,10 @@
 package crp
 
-import "slices"
+import (
+	"slices"
+	"sort"
+	"sync"
+)
 
 // NodeID identifies a participating node (a client, server or peer) in a
 // CRP deployment.
@@ -71,6 +75,23 @@ func rankVecs(client ratioVec, cands []nodeVec) []Scored {
 // similarities live on [0, 1], so any negative sentinel is unambiguous.
 const simExcluded = -1.0
 
+// scoredScratch recycles the O(N) scoring buffers behind topVecs and
+// topSnap. A Top-K query writes one Scored per candidate and keeps only k of
+// them; at service scale that is megabytes of garbage per query, and under a
+// query-per-few-milliseconds load the collector's assist work shows up
+// directly in the query tail. The scratch slice never escapes: selectTop
+// copies the k winners into its own heap before the buffer is recycled.
+var scoredScratch = sync.Pool{New: func() any { return new([]Scored) }}
+
+func getScoredScratch(n int) *[]Scored {
+	buf := scoredScratch.Get().(*[]Scored)
+	if cap(*buf) < n {
+		*buf = make([]Scored, n)
+	}
+	*buf = (*buf)[:n]
+	return buf
+}
+
 // topVecs scores candidates in parallel and selects the k best without
 // sorting the full candidate set — O(n log k) selection instead of
 // O(n log n), the difference between a Top-5 query and a full ranking at
@@ -80,7 +101,9 @@ func topVecs(client ratioVec, cands []nodeVec, k int, exclude NodeID) []Scored {
 	if k <= 0 {
 		return nil
 	}
-	scored := make([]Scored, len(cands))
+	buf := getScoredScratch(len(cands))
+	defer scoredScratch.Put(buf)
+	scored := *buf
 	parallelFor(len(cands), func(i int) {
 		if cands[i].id == exclude {
 			scored[i] = Scored{Node: cands[i].id, Similarity: simExcluded}
@@ -88,7 +111,45 @@ func topVecs(client ratioVec, cands []nodeVec, k int, exclude NodeID) []Scored {
 		}
 		scored[i] = Scored{Node: cands[i].id, Similarity: client.cosine(cands[i].vec)}
 	})
+	return selectTop(scored, k)
+}
 
+// topSnap is topVecs over a stitched store snapshot: it scores the per-shard
+// parts without flattening them first, so the "all known nodes" query path
+// adds no O(N) copy on top of the O(N) scoring pass. Candidate IDs are
+// unique across parts (shards partition the node space) and selection runs
+// on the same total order as topVecs, so the result is deterministic
+// regardless of how the parts are laid out.
+func topSnap(client ratioVec, snap storeSnap, k int, exclude NodeID) []Scored {
+	if k <= 0 || snap.total == 0 {
+		return nil
+	}
+	// Flat index i maps to parts[p][i-starts[p]]; a binary search over at
+	// most a few hundred offsets is noise next to one cosine.
+	starts := make([]int, 0, len(snap.parts))
+	off := 0
+	for _, part := range snap.parts {
+		starts = append(starts, off)
+		off += len(part)
+	}
+	buf := getScoredScratch(snap.total)
+	defer scoredScratch.Put(buf)
+	scored := *buf
+	parallelFor(snap.total, func(i int) {
+		p := sort.SearchInts(starts, i+1) - 1
+		nv := snap.parts[p][i-starts[p]]
+		if nv.id == exclude {
+			scored[i] = Scored{Node: nv.id, Similarity: simExcluded}
+			return
+		}
+		scored[i] = Scored{Node: nv.id, Similarity: client.cosine(nv.vec)}
+	})
+	return selectTop(scored, k)
+}
+
+// selectTop reduces a scored slice to its k best entries in ranking order,
+// skipping excluded sentinels. It is shared by topVecs and topSnap.
+func selectTop(scored []Scored, k int) []Scored {
 	// Bounded min-heap of the k best seen: heap[0] is the worst kept, so a
 	// new candidate only enters by beating it.
 	heap := make([]Scored, 0, min(k, len(scored)))

@@ -3,30 +3,38 @@ package crp
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 )
 
 // Service-level instruments, registered in the default obs registry and
-// shared by every Service in the process: mutation/query volumes and the
-// effectiveness of the compiled all-nodes snapshot cache. Incrementing a
-// counter is one atomic add, so the hot paths stay allocation-free.
+// shared by every Service in the process: mutation/query volumes, the
+// effectiveness of the stitched candidate snapshot, per-shard rebuild
+// activity, and query latency histograms so the daemon's stats op and the
+// churn benchmark can report service-layer percentiles, not just
+// daemon-layer ones. Incrementing a counter is one atomic add, so the hot
+// paths stay allocation-free.
 var svcMetrics = struct {
 	observes         *obs.Counter
 	queries          *obs.Counter // point queries: ratio map, similarity, ranking
 	clusterQueries   *obs.Counter // queries that run a full SMF pass
-	snapshotHits     *obs.Counter // all-nodes snapshot served from cache
-	snapshotRebuilds *obs.Counter // all-nodes snapshot recompiled after a mutation
+	snapshotHits     *obs.Counter // stitched snapshot served from cache
+	snapshotRebuilds *obs.Counter // stitched snapshot reassembled after a mutation
+	shardRebuilds    *obs.Counter // per-shard sub-snapshot recompiles
+	shardWidth       *obs.Gauge   // shard count of the most recent store
+	queryLatency     *obs.Histogram
+	clusterLatency   *obs.Histogram
 }{
 	observes:         obs.Default().Counter("crp.service.observes"),
 	queries:          obs.Default().Counter("crp.service.queries"),
 	clusterQueries:   obs.Default().Counter("crp.service.cluster_queries"),
 	snapshotHits:     obs.Default().Counter("crp.service.snapshot.hits"),
 	snapshotRebuilds: obs.Default().Counter("crp.service.snapshot.rebuilds"),
+	shardRebuilds:    obs.Default().Counter("crp.service.snapshot.shard_rebuilds"),
+	shardWidth:       obs.Default().Gauge("crp.service.shards"),
+	queryLatency:     obs.Default().Histogram("crp.service.latency.query", nil),
+	clusterLatency:   obs.Default().Histogram("crp.service.latency.cluster", nil),
 }
 
 // Service is the stand-alone CRP positioning service sketched in the paper's
@@ -35,23 +43,13 @@ var svcMetrics = struct {
 // queries (peers in my cluster; a full cluster assignment; n nodes in
 // distinct clusters for failure independence). Service is safe for
 // concurrent use and runs no background goroutines.
+//
+// Storage is a sharded tracker store (see store.go): an Observe or Forget
+// invalidates only the compiled sub-snapshot of its own shard, so under
+// continuous ingestion the all-nodes query path repays O(N/S) per mutation
+// instead of recompiling the full candidate set.
 type Service struct {
-	mu       sync.RWMutex
-	trackers map[NodeID]*Tracker
-	opts     []TrackerOption
-
-	// version is bumped after every completed Observe/Forget; it guards the
-	// snapshot below. The bump happens strictly after the mutation lands so
-	// a snapshot built concurrently with a mutation is always tagged with
-	// the pre-mutation version and rebuilt on the next query.
-	version atomic.Uint64
-
-	// Compiled all-node candidate snapshot, shared by every query between
-	// observations. Rebuilt lazily when version moves; the slice and the
-	// vectors inside it are immutable once published.
-	snapMu      sync.Mutex
-	snapVecs    []nodeVec
-	snapVersion uint64
+	store *store
 }
 
 // ErrUnknownNode is returned for queries about nodes the service has no
@@ -62,10 +60,15 @@ var ErrUnknownNode = errors.New("crp: unknown node")
 // every node's tracker (e.g., WithWindow(10) to adopt the paper's
 // recommended 10-probe window).
 func NewService(opts ...TrackerOption) *Service {
-	return &Service{
-		trackers: make(map[NodeID]*Tracker),
-		opts:     opts,
-	}
+	return NewServiceWithStore(StoreConfig{}, opts...)
+}
+
+// NewServiceWithStore returns an empty service with an explicitly shaped
+// tracker store. It exists for benchmarks and tests (e.g. the churn
+// benchmark's single-snapshot baseline); production callers should use
+// NewService.
+func NewServiceWithStore(cfg StoreConfig, opts ...TrackerOption) *Service {
+	return &Service{store: newStore(cfg, opts)}
 }
 
 // Observe records a redirection probe for node: the replica servers one CDN
@@ -74,45 +77,26 @@ func (s *Service) Observe(node NodeID, at time.Time, replicas ...ReplicaID) erro
 	if node == "" {
 		return errors.New("crp: empty node ID")
 	}
-	s.mu.Lock()
-	tr, ok := s.trackers[node]
-	if !ok {
-		tr = NewTracker(s.opts...)
-		s.trackers[node] = tr
-	}
-	s.mu.Unlock()
-	tr.Observe(at, replicas...)
-	s.version.Add(1)
+	s.store.observe(node, func(t *Tracker) { t.Observe(at, replicas...) })
 	svcMetrics.observes.Inc()
 	return nil
 }
 
 // Forget removes a node and its history.
 func (s *Service) Forget(node NodeID) {
-	s.mu.Lock()
-	delete(s.trackers, node)
-	s.mu.Unlock()
-	s.version.Add(1)
+	s.store.forget(node)
 }
 
 // Nodes returns the known node IDs in sorted order.
 func (s *Service) Nodes() []NodeID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]NodeID, 0, len(s.trackers))
-	for id := range s.trackers {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return s.store.nodeIDs()
 }
 
 // RatioMap returns the node's current ratio map.
 func (s *Service) RatioMap(node NodeID) (RatioMap, error) {
+	defer timeQuery()()
 	svcMetrics.queries.Inc()
-	s.mu.RLock()
-	tr, ok := s.trackers[node]
-	s.mu.RUnlock()
+	tr, ok := s.store.get(node)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, node)
 	}
@@ -122,6 +106,7 @@ func (s *Service) RatioMap(node NodeID) (RatioMap, error) {
 // Similarity returns the cosine similarity between two nodes' current ratio
 // maps, computed on their cached compiled vectors.
 func (s *Service) Similarity(a, b NodeID) (float64, error) {
+	defer timeQuery()()
 	svcMetrics.queries.Inc()
 	va, err := s.clientVec(a)
 	if err != nil {
@@ -134,109 +119,42 @@ func (s *Service) Similarity(a, b NodeID) (float64, error) {
 	return va.cosine(vb), nil
 }
 
-// maps snapshots the ratio maps of the given nodes. A nil slice means
-// "every known node"; an empty non-nil slice means "no candidates" and
-// yields an empty snapshot. Callers that build candidate lists dynamically
-// must keep that distinction in mind.
-func (s *Service) maps(nodes []NodeID) (map[NodeID]RatioMap, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[NodeID]RatioMap)
-	if nodes == nil {
-		for id, tr := range s.trackers {
-			out[id] = tr.RatioMap()
-		}
-		return out, nil
-	}
-	for _, id := range nodes {
-		tr, ok := s.trackers[id]
-		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrUnknownNode, id)
-		}
-		out[id] = tr.RatioMap()
-	}
-	return out, nil
-}
-
 // clientVec returns the compiled ratio vector of one known node.
 func (s *Service) clientVec(node NodeID) (ratioVec, error) {
-	s.mu.RLock()
-	tr, ok := s.trackers[node]
-	s.mu.RUnlock()
+	tr, ok := s.store.get(node)
 	if !ok {
 		return ratioVec{}, fmt.Errorf("%w: %q", ErrUnknownNode, node)
 	}
 	return tr.vec(), nil
 }
 
-// candidateVecs snapshots the compiled ratio vectors of the given nodes
-// (nil = every known node, empty non-nil = none), deduplicating repeated
-// IDs. The nil ("all nodes") path serves a shared cached snapshot that is
-// only rebuilt after an Observe or Forget, so repeated queries between
-// observations are rebuild-free; callers exclude the query client during
-// scoring, never by copying the snapshot. The returned slice and its
-// vectors are immutable.
+// candidateVecs snapshots the compiled ratio vectors of an explicit
+// candidate list (an empty non-nil list means "no candidates"),
+// deduplicating repeated IDs. The nil ("all nodes") case never reaches this
+// path — it is served by the store's stitched snapshot; see TopK/ClosestTo.
 func (s *Service) candidateVecs(nodes []NodeID) ([]nodeVec, error) {
-	if nodes == nil {
-		return s.allVecs(), nil
-	}
 	type entry struct {
 		id NodeID
 		tr *Tracker
 	}
-	s.mu.RLock()
 	list := make([]entry, 0, len(nodes))
 	seen := make(map[NodeID]bool, len(nodes))
 	for _, id := range nodes {
-		tr, ok := s.trackers[id]
-		if !ok {
-			s.mu.RUnlock()
-			return nil, fmt.Errorf("%w: %q", ErrUnknownNode, id)
-		}
 		if seen[id] {
 			continue
+		}
+		tr, ok := s.store.get(id)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownNode, id)
 		}
 		seen[id] = true
 		list = append(list, entry{id, tr})
 	}
-	s.mu.RUnlock()
 	out := make([]nodeVec, len(list))
 	for i, e := range list {
 		out[i] = nodeVec{id: e.id, vec: e.tr.vec()}
 	}
 	return out, nil
-}
-
-// allVecs returns the compiled all-node candidate snapshot, rebuilding it if
-// an Observe or Forget has landed since the last build. Tracker pointers are
-// collected under the service lock, but compilation (usually a per-tracker
-// cache hit) happens outside it so a rebuild never blocks writers.
-func (s *Service) allVecs() []nodeVec {
-	v := s.version.Load()
-	s.snapMu.Lock()
-	defer s.snapMu.Unlock()
-	if s.snapVecs != nil && s.snapVersion == v {
-		svcMetrics.snapshotHits.Inc()
-		return s.snapVecs
-	}
-	svcMetrics.snapshotRebuilds.Inc()
-	type entry struct {
-		id NodeID
-		tr *Tracker
-	}
-	s.mu.RLock()
-	list := make([]entry, 0, len(s.trackers))
-	for id, tr := range s.trackers {
-		list = append(list, entry{id, tr})
-	}
-	s.mu.RUnlock()
-	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
-	vecs := make([]nodeVec, len(list))
-	for i, e := range list {
-		vecs[i] = nodeVec{id: e.id, vec: e.tr.vec()}
-	}
-	s.snapVecs, s.snapVersion = vecs, v
-	return vecs
 }
 
 // ClosestTo ranks the candidate nodes by similarity to client and returns
@@ -246,10 +164,15 @@ func (s *Service) allVecs() []nodeVec {
 // non-nil slice means "no candidates" and always reports ok=false. The
 // client itself is never considered a candidate.
 func (s *Service) ClosestTo(client NodeID, candidates []NodeID) (Scored, bool, error) {
+	defer timeQuery()()
 	svcMetrics.queries.Inc()
 	cv, err := s.clientVec(client)
 	if err != nil {
 		return Scored{}, false, err
+	}
+	if candidates == nil {
+		best, ok := bestOf(topSnap(cv, s.store.snapshot(), 1, client))
+		return best, ok, nil
 	}
 	cands, err := s.candidateVecs(candidates)
 	if err != nil {
@@ -265,10 +188,14 @@ func (s *Service) ClosestTo(client NodeID, candidates []NodeID) (Scored, bool, e
 // non-nil slice means "no candidates" and yields no results. The client
 // itself is never considered a candidate.
 func (s *Service) TopK(client NodeID, candidates []NodeID, k int) ([]Scored, error) {
+	defer timeQuery()()
 	svcMetrics.queries.Inc()
 	cv, err := s.clientVec(client)
 	if err != nil {
 		return nil, err
+	}
+	if candidates == nil {
+		return topSnap(cv, s.store.snapshot(), k, client), nil
 	}
 	cands, err := s.candidateVecs(candidates)
 	if err != nil {
@@ -278,18 +205,13 @@ func (s *Service) TopK(client NodeID, candidates []NodeID, k int) ([]Scored, err
 }
 
 // ClusterAll clusters every known node with SMF at the given threshold
-// (§IV-B query 2: "given a set of nodes, map each node to a cluster").
+// (§IV-B query 2: "given a set of nodes, map each node to a cluster"). It
+// runs directly on the stitched compiled snapshot — no per-node ratio-map
+// clones, no recompilation.
 func (s *Service) ClusterAll(cfg ClusterConfig) ([]Cluster, error) {
+	defer timeCluster()()
 	svcMetrics.clusterQueries.Inc()
-	maps, err := s.maps(nil)
-	if err != nil {
-		return nil, err
-	}
-	nodes := make([]Node, 0, len(maps))
-	for id, m := range maps {
-		nodes = append(nodes, Node{ID: id, Map: m})
-	}
-	return ClusterSMF(nodes, cfg)
+	return clusterVecs(s.store.snapshot().flatten(), cfg)
 }
 
 // SameCluster returns the other members of node's cluster under SMF at the
@@ -297,10 +219,7 @@ func (s *Service) ClusterAll(cfg ClusterConfig) ([]Cluster, error) {
 // nodes that belong to the same cluster" — e.g., BitTorrent peers on low-RTT
 // paths).
 func (s *Service) SameCluster(node NodeID, cfg ClusterConfig) ([]NodeID, error) {
-	s.mu.RLock()
-	_, known := s.trackers[node]
-	s.mu.RUnlock()
-	if !known {
+	if _, known := s.store.get(node); !known {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, node)
 	}
 	clusters, err := s.ClusterAll(cfg)
@@ -343,4 +262,18 @@ func (s *Service) DistinctClusters(n int, cfg ClusterConfig) ([]NodeID, error) {
 		}
 	}
 	return out, nil
+}
+
+// timeQuery starts a service-layer latency sample for a point query; the
+// returned func records it. Usage: defer timeQuery()().
+func timeQuery() func() {
+	start := time.Now()
+	return func() { svcMetrics.queryLatency.ObserveDuration(time.Since(start)) }
+}
+
+// timeCluster is timeQuery for the SMF clustering queries, which live on a
+// different latency scale and get their own histogram.
+func timeCluster() func() {
+	start := time.Now()
+	return func() { svcMetrics.clusterLatency.ObserveDuration(time.Since(start)) }
 }

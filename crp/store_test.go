@@ -1,0 +1,306 @@
+package crp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestShardCountDefaults(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 256}, {255, 256}, {256, 256}, {257, 512}, {1000, 1024}, {5000, 1024},
+	}
+	for _, c := range cases {
+		if got := shardCount(c.in); got != c.want {
+			t.Errorf("shardCount(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := shardCount2(1); got != 1 {
+		t.Errorf("shardCount2(1) = %d, want 1 (explicit single-shard config)", got)
+	}
+	if got := shardCount2(5); got != 8 {
+		t.Errorf("shardCount2(5) = %d, want 8", got)
+	}
+}
+
+func TestStoreShardRoutingIsStableAndSpread(t *testing.T) {
+	st := newStore(StoreConfig{Shards: 16}, nil)
+	used := make(map[*storeShard]int)
+	for i := 0; i < 512; i++ {
+		id := NodeID(fmt.Sprintf("node-%04d", i))
+		a, b := st.shardFor(id), st.shardFor(id)
+		if a != b {
+			t.Fatalf("shardFor(%q) not stable", id)
+		}
+		used[a]++
+	}
+	if len(used) < 12 {
+		t.Errorf("512 ids landed on only %d of 16 shards; hash is degenerate", len(used))
+	}
+}
+
+// TestStoreSnapshotReusesCleanShards pins the tentpole property: a mutation
+// invalidates only its own shard's compiled sub-snapshot, so re-assembly
+// reuses every other shard's slice untouched.
+func TestStoreSnapshotReusesCleanShards(t *testing.T) {
+	st := newStore(StoreConfig{Shards: 8}, nil)
+	at := time.Unix(0, 0)
+	for i := 0; i < 64; i++ {
+		st.observe(NodeID(fmt.Sprintf("n-%03d", i)), func(tr *Tracker) {
+			tr.Observe(at, ReplicaID(fmt.Sprintf("r%d", i%4)))
+		})
+	}
+	before := st.snapshot()
+
+	target := NodeID("n-017")
+	dirtyIdx := -1
+	for i := range st.shards {
+		if &st.shards[i] == st.shardFor(target) {
+			dirtyIdx = i
+		}
+	}
+	st.observe(target, func(tr *Tracker) { tr.Observe(at.Add(time.Minute), "r9") })
+	after := st.snapshot()
+
+	if len(after.parts) != len(before.parts) {
+		t.Fatalf("part count changed: %d -> %d", len(before.parts), len(after.parts))
+	}
+	for i := range after.parts {
+		same := len(before.parts[i]) == len(after.parts[i]) &&
+			(len(after.parts[i]) == 0 || &before.parts[i][0] == &after.parts[i][0])
+		if i == dirtyIdx && same {
+			t.Errorf("shard %d was mutated but its sub-snapshot slice was reused", i)
+		}
+		if i != dirtyIdx && !same {
+			t.Errorf("shard %d was clean but its sub-snapshot was rebuilt", i)
+		}
+	}
+
+	// The patched shard must carry the new observation.
+	found := false
+	for _, nv := range after.parts[dirtyIdx] {
+		if nv.id == target {
+			found = true
+			for j, r := range nv.vec.ids {
+				if r == "r9" && nv.vec.vals[j] > 0 {
+					return
+				}
+			}
+			t.Errorf("patched vector for %q lacks the new replica: %v", target, nv.vec.ids)
+		}
+	}
+	if !found {
+		t.Fatalf("node %q missing from its shard's sub-snapshot", target)
+	}
+}
+
+// TestStoreSnapshotIsImmutable pins the stitched snapshot's contract: a
+// snapshot handed out before a round of mutations still describes the old
+// state, part for part and value for value.
+func TestStoreSnapshotIsImmutable(t *testing.T) {
+	st := newStore(StoreConfig{Shards: 4}, nil)
+	at := time.Unix(0, 0)
+	for i := 0; i < 32; i++ {
+		st.observe(NodeID(fmt.Sprintf("n-%03d", i)), func(tr *Tracker) {
+			tr.Observe(at, "r0")
+		})
+	}
+	snap := st.snapshot()
+	frozen := make(map[NodeID][]float64, snap.total)
+	for _, part := range snap.parts {
+		for _, nv := range part {
+			frozen[nv.id] = append([]float64(nil), nv.vec.vals...)
+		}
+	}
+
+	for i := 0; i < 32; i++ {
+		st.observe(NodeID(fmt.Sprintf("n-%03d", i)), func(tr *Tracker) {
+			tr.Observe(at.Add(time.Minute), "r1", "r2")
+		})
+	}
+	st.forget("n-000")
+	_ = st.snapshot() // force rebuilds on top of the old parts
+
+	for _, part := range snap.parts {
+		for _, nv := range part {
+			want := frozen[nv.id]
+			if len(nv.vec.vals) != len(want) {
+				t.Fatalf("snapshot entry %q mutated in place: %v", nv.id, nv.vec.vals)
+			}
+			for j := range want {
+				if nv.vec.vals[j] != want[j] {
+					t.Fatalf("snapshot entry %q mutated in place: %v != %v", nv.id, nv.vec.vals, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStoreForgetRebuildsShard pins the structural path: after a forget the
+// shard re-collects, and the stitched snapshot no longer lists the node.
+func TestStoreForgetRebuildsShard(t *testing.T) {
+	st := newStore(StoreConfig{Shards: 4}, nil)
+	at := time.Unix(0, 0)
+	for i := 0; i < 16; i++ {
+		st.observe(NodeID(fmt.Sprintf("n-%03d", i)), func(tr *Tracker) {
+			tr.Observe(at, "r0")
+		})
+	}
+	_ = st.snapshot()
+	st.forget("n-007")
+	snap := st.snapshot()
+	if snap.total != 15 {
+		t.Fatalf("snapshot total = %d after forget, want 15", snap.total)
+	}
+	for _, part := range snap.parts {
+		for i, nv := range part {
+			if nv.id == "n-007" {
+				t.Fatal("forgotten node still present in stitched snapshot")
+			}
+			if i > 0 && part[i-1].id >= nv.id {
+				t.Fatalf("sub-snapshot not sorted: %q before %q", part[i-1].id, nv.id)
+			}
+		}
+	}
+}
+
+// TestStoreSnapshotSingleFlight pins that clean snapshots are cache hits:
+// repeated assembly without mutations performs no shard recompiles.
+func TestStoreSnapshotSingleFlight(t *testing.T) {
+	st := newStore(StoreConfig{Shards: 4}, nil)
+	at := time.Unix(0, 0)
+	for i := 0; i < 16; i++ {
+		st.observe(NodeID(fmt.Sprintf("n-%03d", i)), func(tr *Tracker) {
+			tr.Observe(at, "r0")
+		})
+	}
+	_ = st.snapshot()
+	rebuilds := svcMetrics.shardRebuilds.Value()
+	hits := svcMetrics.snapshotHits.Value()
+	for i := 0; i < 5; i++ {
+		_ = st.snapshot()
+	}
+	if got := svcMetrics.shardRebuilds.Value() - rebuilds; got != 0 {
+		t.Errorf("%d shard rebuilds on clean snapshots, want 0", got)
+	}
+	if got := svcMetrics.snapshotHits.Value() - hits; got != 5 {
+		t.Errorf("%d stitched-cache hits, want 5", got)
+	}
+}
+
+// TestStoreModesAgree drives the same workload through the default sharded
+// store and the single-shard full-rebuild baseline, and requires identical
+// query results — the churn benchmark's comparison is only meaningful if the
+// two modes are observably the same service.
+func TestStoreModesAgree(t *testing.T) {
+	sharded := NewService(WithWindow(10))
+	single := NewServiceWithStore(StoreConfig{Shards: 1, FullRebuild: true}, WithWindow(10))
+	at := time.Unix(0, 0)
+	for i := 0; i < 120; i++ {
+		node := NodeID(fmt.Sprintf("n-%03d", i%40))
+		replica := ReplicaID(fmt.Sprintf("r%d", (i*7)%12))
+		for _, svc := range []*Service{sharded, single} {
+			if err := svc.Observe(node, at.Add(time.Duration(i)*time.Second), replica); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%17 == 0 {
+			sharded.Forget(node)
+			single.Forget(node)
+		}
+	}
+
+	a, b := sharded.Nodes(), single.Nodes()
+	if len(a) != len(b) {
+		t.Fatalf("node sets diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node sets diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+
+	client := a[0]
+	ra, err := sharded.TopK(client, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := single.TopK(client, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("TopK lengths diverge: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("TopK diverges at %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+
+	ca, err := sharded.ClusterAll(ClusterConfig{Threshold: DefaultThreshold, SecondPass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := single.ClusterAll(ClusterConfig{Threshold: DefaultThreshold, SecondPass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ca) != len(cb) {
+		t.Fatalf("cluster counts diverge: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i].Center != cb[i].Center || len(ca[i].Members) != len(cb[i].Members) {
+			t.Fatalf("cluster %d diverges: %+v vs %+v", i, ca[i], cb[i])
+		}
+		for j := range ca[i].Members {
+			if ca[i].Members[j] != cb[i].Members[j] {
+				t.Fatalf("cluster %d member %d diverges", i, j)
+			}
+		}
+	}
+}
+
+// TestClusterVecsMatchesClusterSMF pins that the Service's vec-native SMF
+// path clusters exactly like the public map-based ClusterSMF.
+func TestClusterVecsMatchesClusterSMF(t *testing.T) {
+	nodes := make([]Node, 0, 60)
+	vecs := make([]nodeVec, 0, 60)
+	for i := 0; i < 60; i++ {
+		m := RatioMap{}
+		for r := 0; r < 3; r++ {
+			m[ReplicaID(fmt.Sprintf("g%d-r%d", i%6, r))] = float64(1 + (i+r)%4)
+		}
+		m = m.Normalize()
+		id := NodeID(fmt.Sprintf("n-%03d", i))
+		nodes = append(nodes, Node{ID: id, Map: m})
+		vecs = append(vecs, nodeVec{id: id, vec: compileRatioMap(m)})
+	}
+	for _, cfg := range []ClusterConfig{
+		{Threshold: DefaultThreshold},
+		{Threshold: 0.5, SecondPass: true, Seed: 7},
+		{Threshold: 0},
+	} {
+		want, err := ClusterSMF(nodes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := clusterVecs(append([]nodeVec(nil), vecs...), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cfg %+v: %d clusters vs %d", cfg, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Center != want[i].Center || len(got[i].Members) != len(want[i].Members) {
+				t.Fatalf("cfg %+v cluster %d: %+v vs %+v", cfg, i, got[i], want[i])
+			}
+			for j := range want[i].Members {
+				if got[i].Members[j] != want[i].Members[j] {
+					t.Fatalf("cfg %+v cluster %d member %d diverges", cfg, i, j)
+				}
+			}
+		}
+	}
+}

@@ -270,6 +270,50 @@ func TestDaemonStatsOp(t *testing.T) {
 	}
 }
 
+// TestDaemonStatsExportsServiceMetrics pins the cross-layer contract: a
+// daemon on the default registry (the production configuration) exports the
+// crp.Service's own instruments — query-latency histograms, the shard-width
+// gauge and the per-shard node gauges — through the stats op, with no extra
+// wiring. (A custom Registry only carries the daemon's instruments; the
+// service's live in the process-wide default registry.) The assertions are
+// lower bounds because that registry is shared with every other service in
+// the process, including the ones other tests here create.
+func TestDaemonStatsExportsServiceMetrics(t *testing.T) {
+	d, pc := startDaemon(t, Config{Registry: obs.Default()}, crp.WithWindow(10))
+	defer d.Close()
+
+	c := dialDaemon(t, pc)
+	defer c.close()
+	for _, req := range []string{
+		`{"op":"observe","node":"n1","replicas":["r1"]}`,
+		`{"op":"observe","node":"n2","replicas":["r1","r2"]}`,
+		`{"op":"closest","client":"n1","k":3}`,
+	} {
+		if resp := c.roundTrip(t, req); !resp.OK {
+			t.Fatalf("%s: %+v", req, resp)
+		}
+	}
+	resp := c.roundTrip(t, `{"op":"stats"}`)
+	if !resp.OK || resp.Stats == nil {
+		t.Fatalf("stats = %+v", resp)
+	}
+	if h, ok := resp.Stats.Histograms["crp.service.latency.query"]; !ok || h.Count == 0 {
+		t.Errorf("service query-latency histogram missing or empty: %+v ok=%v", h, ok)
+	}
+	if g := resp.Stats.Gauges["crp.service.shards"]; g <= 0 {
+		t.Errorf("shard-width gauge = %d, want > 0", g)
+	}
+	var shardNodes int64
+	for name, g := range resp.Stats.Gauges {
+		if strings.HasPrefix(name, "crp.service.shard.") && strings.HasSuffix(name, ".nodes") {
+			shardNodes += g
+		}
+	}
+	if shardNodes < 2 {
+		t.Errorf("per-shard node gauges sum to %d, want >= 2 (n1, n2 observed)", shardNodes)
+	}
+}
+
 func TestDaemonOverUDP(t *testing.T) {
 	d, pc := startDaemon(t, Config{}, crp.WithWindow(10))
 	defer d.Close()
