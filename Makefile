@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet check
+.PHONY: build test bench race vet check test-faults
 
 build:
 	$(GO) build ./...
@@ -12,12 +12,26 @@ test:
 # (BENCH_crpd.json: cheap-op latency with and without concurrent SMF
 # clustering load), then the store churn bench at full scale
 # (BENCH_churn.json: query latency under continuous ingestion, sharded store
-# vs the single-snapshot baseline, 50k nodes). Both reports embed provenance
-# metadata (seed, host width, go version, scale knobs).
+# vs the single-snapshot baseline, 50k nodes), then the fault sweep
+# (BENCH_faults.json: closest-node accuracy across probe-loss rates x CDN
+# staleness windows). All reports embed provenance metadata (seed, host
+# width, go version, scale knobs).
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 	$(GO) run ./cmd/crpbench -exp crpd -quick -out BENCH_crpd.json
 	$(GO) run ./cmd/crpbench -exp churn -out BENCH_churn.json
+	$(GO) run ./cmd/crpbench -exp faults -out BENCH_faults.json
+
+# test-faults runs the fault-injection degradation suite (clean-vs-faulted
+# accuracy envelopes per fault class, activation-counter assertions,
+# byte-identical reruns) under the race detector, the packet-level fault
+# tests on the dnsserver and crpd UDP paths, then a short fuzz smoke over
+# the two wire decoders.
+test-faults:
+	$(GO) test -race -run 'Degradation|Faults|WrapPacketConn|Scenario|Storm|Probe|LDNS|MapEpoch|Activation|Clock' ./internal/faults/ ./internal/experiment/
+	$(GO) test -race -run 'Retransmit|SurvivesDuplicated|UnderDup|UnderTotal|Decode|Hostile|Boundary' ./internal/dnsserver/ ./internal/crpdaemon/
+	$(GO) test -fuzz FuzzUnpack -fuzztime 10s ./internal/dnswire/
+	$(GO) test -fuzz FuzzDecodeRequest -fuzztime 10s ./internal/crpdaemon/
 
 vet:
 	$(GO) vet ./...

@@ -4,17 +4,20 @@
 //
 // Usage:
 //
-//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations|kernels|crpd|churn] [-quick] [-seed N] [-nodes N] [-out FILE]
+//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations|kernels|crpd|churn|faults] [-quick] [-seed N] [-nodes N] [-out FILE]
 //
-// The kernels, crpd and churn experiments are not from the paper: kernels
-// compares the map-based similarity path (Dot + two Norms per pair) against
-// the compiled-vector kernel the query surface runs on, at service scale;
-// crpd stress-benchmarks the positioning daemon over loopback UDP, comparing
-// cheap-op latency with and without concurrent SMF clustering load; churn
-// interleaves a continuous Observe stream with concurrent TopK/SameCluster
-// query load against both the sharded tracker store and the single-snapshot
-// baseline, reporting query p50/p99 and snapshot-rebuild counts. All three
-// write their report JSON (with provenance metadata) to -out.
+// The kernels, crpd, churn and faults experiments are not from the paper:
+// kernels compares the map-based similarity path (Dot + two Norms per pair)
+// against the compiled-vector kernel the query surface runs on, at service
+// scale; crpd stress-benchmarks the positioning daemon over loopback UDP,
+// comparing cheap-op latency with and without concurrent SMF clustering
+// load; churn interleaves a continuous Observe stream with concurrent
+// TopK/SameCluster query load against both the sharded tracker store and
+// the single-snapshot baseline, reporting query p50/p99 and
+// snapshot-rebuild counts; faults sweeps the deterministic fault-injection
+// plane across probe-loss rates and CDN map-staleness windows and reports
+// the accuracy degradation at each point. All four write their report JSON
+// (with provenance metadata) to -out.
 //
 // Every experiment dumps the process-wide obs metrics snapshot when it
 // finishes, so each run leaves instrumentation data alongside its tables.
@@ -42,7 +45,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("crpbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations, kernels, crpd, churn")
+	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations, kernels, crpd, churn, faults")
 	quick := fs.Bool("quick", false, "run a reduced-scale configuration")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	nodes := fs.Int("nodes", 0, "override the churn experiment's node count (0 = default scale)")
@@ -61,6 +64,9 @@ func run(args []string) error {
 	}
 	if *exp == "churn" {
 		return runChurn(*quick, *seed, *nodes, *out)
+	}
+	if *exp == "faults" {
+		return runFaultSweep(*quick, *seed, *out)
 	}
 
 	params := experiment.DefaultScenarioParams()

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netsim"
@@ -118,6 +119,41 @@ type Network struct {
 
 	mu        sync.Mutex
 	neighbors map[netsim.HostID][]netsim.HostID
+
+	// mapHook holds the optional MapHook (wrapped in mapHookBox) consulted
+	// by Redirect. See SetMapHook.
+	mapHook atomic.Value
+}
+
+// MapHook lets a fault plane interpose on the mapping system's epoch
+// bookkeeping. Redirect calls it with the querying LDNS, the query's
+// virtual time, the configured mapping-epoch length and the epoch the
+// query falls in; the hook returns the epoch identity and the measurement
+// time the mapping computation should use instead. Returning the inputs
+// unchanged is a no-op. Two fault shapes fall out naturally:
+//
+//   - a frozen map (stale answers across the TTL window): return a pinned
+//     earlier epoch and that epoch's start time, so ranking reuses the
+//     monitoring measurements and load state of the stale instant;
+//   - an abrupt re-mapping event (YouLighter-style): return a different
+//     epoch identity with the current measurement time, so every draw that
+//     keys on the epoch changes at once.
+//
+// Hooks must be deterministic and safe for concurrent use.
+type MapHook func(ldns netsim.HostID, at, epochLen time.Duration, epoch uint64) (uint64, time.Duration)
+
+type mapHookBox struct{ h MapHook }
+
+// SetMapHook installs (or, with nil, removes) the mapping hook.
+func (n *Network) SetMapHook(h MapHook) {
+	n.mapHook.Store(mapHookBox{h: h})
+}
+
+func (n *Network) mapHookOf() MapHook {
+	if b, ok := n.mapHook.Load().(mapHookBox); ok {
+		return b.h
+	}
+	return nil
 }
 
 // New builds a CDN over the given topology.
@@ -347,6 +383,9 @@ func (n *Network) Redirect(name string, ldns netsim.HostID, at time.Duration) ([
 
 	epoch := uint64(at / n.cfg.MappingEpoch)
 	epochStart := time.Duration(epoch) * n.cfg.MappingEpoch
+	if hook := n.mapHookOf(); hook != nil {
+		epoch, epochStart = hook(ldns, at, n.cfg.MappingEpoch, epoch)
+	}
 
 	type scored struct {
 		id    netsim.HostID

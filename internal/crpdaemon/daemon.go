@@ -271,10 +271,10 @@ func (d *Daemon) readLoop() {
 			continue
 		}
 
-		var req Request
-		if err := json.Unmarshal(buf[:n], &req); err != nil {
+		req, err := decodeRequest(buf[:n])
+		if err != nil {
 			d.badReqs.Inc()
-			d.reply(from, Response{Error: fmt.Sprintf("bad request: %v", err)})
+			d.reply(from, Response{Error: err.Error()})
 			continue
 		}
 		heavy, known := ops[req.Op]
@@ -378,10 +378,10 @@ func (d *Daemon) reply(to net.Addr, resp Response) {
 // applying the same oversize policy as the wire path. It is the synchronous
 // core used by unit tests and by callers embedding the daemon in-process.
 func (d *Daemon) Handle(raw []byte) []byte {
-	var req Request
-	if err := json.Unmarshal(raw, &req); err != nil {
+	req, err := decodeRequest(raw)
+	if err != nil {
 		d.badReqs.Inc()
-		return marshal(Response{Error: fmt.Sprintf("bad request: %v", err)})
+		return marshal(Response{Error: err.Error()})
 	}
 	if _, known := ops[req.Op]; !known {
 		d.badReqs.Inc()

@@ -224,10 +224,15 @@ func TestDaemonOversizedReplyIsStructuredError(t *testing.T) {
 	for i := range reps {
 		reps[i] = fmt.Sprintf("replica-%05d.cdn.example.net", i)
 	}
-	raw, _ := json.Marshal(Request{Op: "observe", Node: "wide", Replicas: reps})
+	// Seed in batches that respect MaxRequestSize: the oversize under test
+	// is the reply, not the request.
 	var resp Response
-	if err := json.Unmarshal(d.Handle(raw), &resp); err != nil || !resp.OK {
-		t.Fatalf("observe: %+v err %v", resp, err)
+	for start := 0; start < len(reps); start += 1000 {
+		end := min(start+1000, len(reps))
+		raw, _ := json.Marshal(Request{Op: "observe", Node: "wide", Replicas: reps[start:end]})
+		if err := json.Unmarshal(d.Handle(raw), &resp); err != nil || !resp.OK {
+			t.Fatalf("observe [%d:%d]: %+v err %v", start, end, resp, err)
+		}
 	}
 
 	reply := d.Handle([]byte(`{"op":"ratio_map","node":"wide"}`))
@@ -328,7 +333,7 @@ func TestDaemonOverUDP(t *testing.T) {
 
 // --- wire-test helpers ---
 
-func startDaemon(t *testing.T, cfg Config, opts ...crp.TrackerOption) (*Daemon, net.PacketConn) {
+func startDaemon(t testing.TB, cfg Config, opts ...crp.TrackerOption) (*Daemon, net.PacketConn) {
 	t.Helper()
 	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {

@@ -1,0 +1,95 @@
+package crpdaemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"unicode/utf8"
+)
+
+// Wire-field bounds. The daemon fronts an in-memory store keyed by
+// client-supplied strings, so every field that sizes an allocation or a key
+// is bounded before the request reaches a worker: a hostile or corrupted
+// datagram must cost one structured error reply, not memory or CPU.
+const (
+	// MaxRequestSize bounds the raw datagram. It matches the read loop's
+	// buffer: anything larger was truncated on the socket anyway, and
+	// Handle (the in-process path, no kernel truncation) enforces it
+	// explicitly.
+	MaxRequestSize = 64 * 1024
+	// MaxIDBytes bounds every identity field (node, replica, candidate).
+	// Identities are DNS names in practice, which cap at 255 octets.
+	MaxIDBytes = 255
+	// MaxListEntries bounds the replicas and candidates lists.
+	MaxListEntries = 10000
+	// MaxK bounds top-k requests; MaxN bounds the sweep width.
+	MaxK = 10000
+	MaxN = 1 << 20
+)
+
+// decodeRequest parses and bounds-checks one wire request. It is the single
+// decode path for both the socket loop and Handle, so the bounds hold on
+// every route into a worker.
+func decodeRequest(raw []byte) (Request, error) {
+	var req Request
+	if len(raw) > MaxRequestSize {
+		return req, fmt.Errorf("request too large: %d bytes exceeds the %d-byte limit", len(raw), MaxRequestSize)
+	}
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return req, fmt.Errorf("bad request: %v", err)
+	}
+	if err := checkRequest(&req); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// checkRequest validates the decoded fields against the wire bounds.
+func checkRequest(req *Request) error {
+	for _, f := range []struct{ name, v string }{
+		{"op", req.Op}, {"node", req.Node}, {"a", req.A}, {"b", req.B}, {"client", req.Client},
+	} {
+		if err := checkID(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if len(req.Replicas) > MaxListEntries {
+		return fmt.Errorf("replicas list has %d entries, limit %d", len(req.Replicas), MaxListEntries)
+	}
+	if len(req.Candidates) > MaxListEntries {
+		return fmt.Errorf("candidates list has %d entries, limit %d", len(req.Candidates), MaxListEntries)
+	}
+	for i, r := range req.Replicas {
+		if err := checkID(fmt.Sprintf("replicas[%d]", i), r); err != nil {
+			return err
+		}
+	}
+	for i, c := range req.Candidates {
+		if err := checkID(fmt.Sprintf("candidates[%d]", i), c); err != nil {
+			return err
+		}
+	}
+	if req.K < 0 || req.K > MaxK {
+		return fmt.Errorf("k %d outside [0, %d]", req.K, MaxK)
+	}
+	if req.N < 0 || req.N > MaxN {
+		return fmt.Errorf("n %d outside [0, %d]", req.N, MaxN)
+	}
+	return nil
+}
+
+// checkID bounds one identity string: length-capped valid UTF-8 with no
+// NULs (store keys end up in logs, metrics names and snapshot files).
+func checkID(field, v string) error {
+	if len(v) > MaxIDBytes {
+		return fmt.Errorf("%s is %d bytes, limit %d", field, len(v), MaxIDBytes)
+	}
+	if !utf8.ValidString(v) {
+		return fmt.Errorf("%s is not valid UTF-8", field)
+	}
+	for i := 0; i < len(v); i++ {
+		if v[i] == 0 {
+			return fmt.Errorf("%s contains a NUL byte", field)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package crpdaemon
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/crp"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+)
+
+func faultsTopo(t *testing.T) *netsim.Topology {
+	t.Helper()
+	p := netsim.DefaultParams()
+	p.NumClients = 10
+	p.NumCandidates = 5
+	p.NumReplicas = 20
+	topo, err := netsim.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// startFaultyDaemon serves a daemon behind a fault-wrapped conn.
+func startFaultyDaemon(t *testing.T, sc faults.Scenario) (*Daemon, net.PacketConn, *faults.Plane) {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane, err := faults.New(faultsTopo(t), sc)
+	if err != nil {
+		pc.Close()
+		t.Fatal(err)
+	}
+	d, err := Serve(plane.WrapPacketConn(pc, "crpd"), crp.NewService(), Config{
+		Registry: obs.NewRegistry(),
+		Timeout:  time.Second,
+	})
+	if err != nil {
+		pc.Close()
+		t.Fatal(err)
+	}
+	return d, pc, plane
+}
+
+// drain discards any replies (duplicates included) already queued on the
+// client socket.
+func drain(c *testClient) {
+	buf := make([]byte, 64*1024)
+	for {
+		c.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		if _, err := c.conn.Read(buf); err != nil {
+			c.conn.SetReadDeadline(time.Time{})
+			return
+		}
+	}
+}
+
+// TestDaemonUnderDupAndDelay drives the daemon through a conn that delays
+// sends and duplicates some replies: every request must still get a
+// structured answer, and malformed input must get a structured error — not
+// silence — even with the fault plane interposed.
+func TestDaemonUnderDupAndDelay(t *testing.T) {
+	d, pc, plane := startFaultyDaemon(t, faults.Scenario{Seed: 31, Faults: []faults.Fault{
+		{Kind: faults.PacketDup, Rate: 0.5, Target: "crpd"},
+		{Kind: faults.PacketDelay, ExtraMs: 5, Target: "crpd"},
+	}})
+	defer d.Close()
+
+	c := dialDaemon(t, pc)
+	defer c.close()
+
+	for i := 0; i < 8; i++ {
+		resp := c.roundTrip(t, `{"op":"observe","node":"n1","replicas":["r1","r2"]}`)
+		if !resp.OK {
+			t.Fatalf("observe %d through faulty conn = %+v", i, resp)
+		}
+	}
+	// Duplicated replies linger in the socket; drain them so the next
+	// exchange reads its own reply rather than a stale copy.
+	drain(c)
+	resp := c.roundTrip(t, `{"op":"similarity","a":"n1","b":"n1"}`)
+	if !resp.OK || resp.Similarity == nil {
+		t.Fatalf("similarity through faulty conn = %+v", resp)
+	}
+
+	// Garbage must yield a structured error reply, not a hang or a drop.
+	drain(c)
+	resp = c.roundTrip(t, `{"op":`)
+	if resp.OK || resp.Error == "" {
+		t.Fatalf("malformed request reply = %+v, want structured error", resp)
+	}
+	if !strings.Contains(resp.Error, "decode") && !strings.Contains(resp.Error, "request") {
+		t.Logf("error text: %q", resp.Error)
+	}
+
+	acts := plane.Activations()
+	if acts[faults.PacketDelay] == 0 {
+		t.Fatal("delay fault never fired")
+	}
+	if acts[faults.PacketDup] == 0 {
+		t.Fatal("dup fault never fired over 10 replies")
+	}
+}
+
+// TestDaemonUnderTotalLossStaysResponsive wraps the daemon's conn with a
+// rate-1 receive loss: clients see timeouts (as they would against a dead
+// path), and the daemon itself neither wedges nor leaks — Close returns
+// promptly.
+func TestDaemonUnderTotalLossStaysResponsive(t *testing.T) {
+	d, pc, plane := startFaultyDaemon(t, faults.Scenario{Seed: 31, Faults: []faults.Fault{
+		{Kind: faults.PacketLoss, Rate: 1, Target: "crpd"},
+	}})
+
+	c := dialDaemon(t, pc)
+	defer c.close()
+	if _, err := c.conn.Write([]byte(`{"op":"observe","node":"n1","replicas":["r1"]}`)); err != nil {
+		t.Fatal(err)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	buf := make([]byte, 1024)
+	if n, err := c.conn.Read(buf); err == nil {
+		t.Fatalf("got reply %q through a rate-1 loss fault", buf[:n])
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- d.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon Close hung under total receive loss")
+	}
+	if plane.Activations()[faults.PacketLoss] == 0 {
+		t.Fatal("loss fault never fired")
+	}
+}

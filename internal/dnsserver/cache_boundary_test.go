@@ -1,0 +1,125 @@
+package dnsserver
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// TestCacheExpiryBoundaryExact pins the TTL boundary semantics on the
+// virtual clock: an entry cached at t with TTL n seconds serves hits while
+// now < t+n and expires at exactly now == t+n — not one instant later.
+// RFC 1035 TTLs count whole seconds of validity; at the deadline the
+// record's lifetime is spent. The CDN's 20 s TTLs make this the boundary
+// the whole probing model sits on: a cache that held entries one instant
+// past the deadline would replay stale redirections into ratio maps.
+func TestCacheExpiryBoundaryExact(t *testing.T) {
+	const ttl = 20
+	f := &fakeQuerier{ttl: ttl}
+	clock := &virtualClock{t: time.Unix(1000, 0)}
+	c := newCached(t, f, clock)
+
+	if _, cached, err := c.Query("edge.cdn.sim.", dnswire.TypeA); err != nil || cached {
+		t.Fatalf("first query: cached=%v err=%v", cached, err)
+	}
+	deadline := time.Unix(1000, 0).Add(ttl * time.Second)
+
+	// One nanosecond before the deadline: still a hit.
+	clock.t = deadline.Add(-time.Nanosecond)
+	if _, cached, err := c.Query("edge.cdn.sim.", dnswire.TypeA); err != nil || !cached {
+		t.Fatalf("query at deadline-1ns: cached=%v err=%v, want hit", cached, err)
+	}
+
+	// Exactly at the deadline: expired. now.Before(expires) is false when
+	// now == expires, so t == deadline must miss, not just t > deadline.
+	clock.t = deadline
+	if _, cached, err := c.Query("edge.cdn.sim.", dnswire.TypeA); err != nil || cached {
+		t.Fatalf("query at t==deadline: cached=%v err=%v, want miss", cached, err)
+	}
+	if f.calls != 2 {
+		t.Fatalf("backend calls = %d, want 2 (initial fill + boundary refill)", f.calls)
+	}
+
+	// The boundary miss refilled the cache: the deadline advances by a full
+	// TTL from the refill instant.
+	clock.t = deadline.Add(ttl*time.Second - time.Nanosecond)
+	if _, cached, err := c.Query("edge.cdn.sim.", dnswire.TypeA); err != nil || !cached {
+		t.Fatalf("query inside refilled window: cached=%v err=%v, want hit", cached, err)
+	}
+	clock.t = deadline.Add(ttl * time.Second)
+	if _, cached, err := c.Query("edge.cdn.sim.", dnswire.TypeA); err != nil || cached {
+		t.Fatalf("query at refilled deadline: cached=%v err=%v, want miss", cached, err)
+	}
+}
+
+// TestCacheExpiryBoundaryOneSecondTTL covers the minimum cacheable TTL: a
+// 1 s record is a hit during its single second and expired at t0+1s sharp.
+func TestCacheExpiryBoundaryOneSecondTTL(t *testing.T) {
+	f := &fakeQuerier{ttl: 1}
+	base := time.Unix(500, 0)
+	clock := &virtualClock{t: base}
+	c := newCached(t, f, clock)
+
+	if _, cached, _ := c.Query("short.cdn.sim.", dnswire.TypeA); cached {
+		t.Fatal("first query must miss")
+	}
+	for _, tc := range []struct {
+		offset time.Duration
+		hit    bool
+	}{
+		{0, true},
+		{999 * time.Millisecond, true},
+		{time.Second - time.Nanosecond, true},
+		{time.Second, false},
+	} {
+		clock.t = base.Add(tc.offset)
+		_, cached, err := c.Query("short.cdn.sim.", dnswire.TypeA)
+		if err != nil {
+			t.Fatalf("offset %v: %v", tc.offset, err)
+		}
+		if cached != tc.hit {
+			t.Fatalf("offset %v: cached=%v, want %v", tc.offset, cached, tc.hit)
+		}
+		if !tc.hit {
+			break // the miss refilled the cache; later offsets would hit again
+		}
+	}
+	if hits, misses := c.Stats(); hits != 3 || misses != 2 {
+		t.Fatalf("stats = %d hits / %d misses, want 3/2", hits, misses)
+	}
+}
+
+// TestCacheEvictionAtExpiryBoundary pins the same t==deadline semantics in
+// the eviction path: when the cache is full, an entry whose deadline is
+// exactly now counts as expired and is dropped in favour of the incumbent.
+func TestCacheEvictionAtExpiryBoundary(t *testing.T) {
+	f := &fakeQuerier{ttl: 30}
+	base := time.Unix(2000, 0)
+	clock := &virtualClock{t: base}
+	c := newCached(t, f, clock, WithCacheSize(1))
+
+	if _, _, err := c.Query("a.cdn.sim.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly at a.'s deadline, inserting b. must evict the expired a.
+	// rather than an arbitrary live entry.
+	clock.t = base.Add(30 * time.Second)
+	if _, _, err := c.Query("b.cdn.sim.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("cache holds %d entries, want 1", got)
+	}
+	// b. is the survivor: a hit for b., a miss (refill) for a.
+	if _, cached, _ := c.Query("b.cdn.sim.", dnswire.TypeA); !cached {
+		t.Fatal("b. should have survived eviction")
+	}
+	callsBefore := f.calls
+	if _, cached, _ := c.Query("a.cdn.sim.", dnswire.TypeA); cached {
+		t.Fatal("a. should have been evicted at its exact deadline")
+	}
+	if f.calls != callsBefore+1 {
+		t.Fatalf("a. refill did not reach the backend (calls %d -> %d)", callsBefore, f.calls)
+	}
+}

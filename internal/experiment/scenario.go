@@ -15,6 +15,7 @@ import (
 
 	"repro/crp"
 	"repro/internal/cdn"
+	"repro/internal/faults"
 	"repro/internal/meridian"
 	"repro/internal/netsim"
 )
@@ -62,6 +63,27 @@ type Scenario struct {
 	// epoch anchors the conversion between the simulator's virtual
 	// durations and the wall-clock time.Time values the public crp API uses.
 	epoch time.Time
+
+	// faults, when non-nil, is the attached fault-injection plane. The
+	// probe path consults it; the topology and CDN consult it through
+	// their own injected hooks (see AttachFaults).
+	faults *faults.Plane
+}
+
+// AttachFaults installs a fault plane across every layer of the scenario:
+// the topology's latency model (congestion storms, clock skew), the CDN's
+// mapping system (freezes, flaps) and the probe path (probe loss, LDNS
+// outage and churn). Passing nil detaches. Runs with the same scenario,
+// seed and plane are bit-reproducible.
+func (s *Scenario) AttachFaults(p *faults.Plane) {
+	s.faults = p
+	if p == nil {
+		s.Topo.SetPerturb(nil)
+		s.CDN.SetMapHook(nil)
+		return
+	}
+	s.Topo.SetPerturb(p)
+	s.CDN.SetMapHook(p.MapEpoch)
 }
 
 // Failure-injection rates matching the handful of pathological nodes the
@@ -178,16 +200,31 @@ func (s *Scenario) CollectTracker(host netsim.HostID, ps ProbeSchedule) (*crp.Tr
 	return tr, nil
 }
 
-// probeInto records the schedule's probes into an existing tracker.
+// probeInto records the schedule's probes into an existing tracker. With a
+// fault plane attached, probes may be lost outright (DNS timeouts, LDNS
+// outages), issued through a churned LDNS identity, or stamped with the
+// host's skewed clock.
 func (s *Scenario) probeInto(tr *crp.Tracker, host netsim.HostID, ps ProbeSchedule) error {
 	for i := 0; i < ps.Probes; i++ {
 		at := ps.Start + time.Duration(i)*ps.Interval
+		ldns := host
+		obsAt := at
+		if s.faults != nil {
+			if s.faults.ProbeLost(host, at) {
+				continue // resolver down or resolution timed out: no probe
+			}
+			ldns = s.faults.ResolverFor(host, at)
+			obsAt = at + s.faults.ClockSkew(host, at)
+			if obsAt < 0 {
+				obsAt = 0
+			}
+		}
 		for _, name := range s.CDN.Names() {
-			ids, err := s.lookup(name, host, at)
+			ids, err := s.lookup(name, ldns, at)
 			if err != nil {
 				return err
 			}
-			tr.Observe(s.At(at), ids...)
+			tr.Observe(s.At(obsAt), ids...)
 		}
 	}
 	return nil

@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WrapPacketConn interposes the plane's packet-level faults on a
+// net.PacketConn. The label names this path in fault Target fields ("dns",
+// "crpd", ...). Faults applied:
+//
+//   - pkt-loss: received datagrams are dropped before delivery (wrapping
+//     both ends of a path loses traffic in both directions);
+//   - pkt-reorder: a received datagram is held back and swapped with its
+//     successor;
+//   - pkt-dup: a sent datagram is written twice;
+//   - pkt-delay: a send sleeps ExtraMs (hash-jittered ±50%) first.
+//
+// Decisions are deterministic in (scenario seed, label, direction, packet
+// index), so a single-writer/single-reader exchange replays identically.
+// The wrapper is safe for concurrent use to the same degree as the
+// underlying conn; Close, deadlines and addresses pass straight through.
+func (p *Plane) WrapPacketConn(pc net.PacketConn, label string) net.PacketConn {
+	return &faultyPacketConn{PacketConn: pc, plane: p, label: label}
+}
+
+type faultyPacketConn struct {
+	net.PacketConn
+	plane *Plane
+	label string
+
+	rx atomic.Uint64 // received-packet index
+	tx atomic.Uint64 // sent-packet index
+
+	mu        sync.Mutex
+	held      []byte   // reordered packet awaiting delivery
+	heldFrom  net.Addr //
+	heldReady bool     // true once a successor has been delivered
+}
+
+// ReadFrom applies loss and reordering to the receive path.
+func (c *faultyPacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
+	for {
+		// A held-back packet whose successor has already been delivered is
+		// released before touching the socket.
+		c.mu.Lock()
+		if c.held != nil && c.heldReady {
+			n := copy(b, c.held)
+			from := c.heldFrom
+			c.held, c.heldFrom, c.heldReady = nil, nil, false
+			c.mu.Unlock()
+			return n, from, nil
+		}
+		c.mu.Unlock()
+
+		n, from, err := c.PacketConn.ReadFrom(b)
+		if err != nil {
+			return n, from, err
+		}
+		idx := c.rx.Add(1)
+		if hit, _ := c.plane.pktDecide(PacketLoss, c.label, "rx", idx); hit {
+			continue // dropped
+		}
+		if hit, _ := c.plane.pktDecide(PacketReorder, c.label, "rx", idx); hit {
+			c.mu.Lock()
+			if c.held == nil {
+				// Hold this packet back; it is released after the next
+				// delivered packet, swapping the pair.
+				c.held = append([]byte(nil), b[:n]...)
+				c.heldFrom = from
+				c.heldReady = false
+				c.mu.Unlock()
+				continue
+			}
+			c.mu.Unlock()
+		}
+		c.mu.Lock()
+		if c.held != nil {
+			c.heldReady = true
+		}
+		c.mu.Unlock()
+		return n, from, nil
+	}
+}
+
+// WriteTo applies delay and duplication to the send path.
+func (c *faultyPacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	idx := c.tx.Add(1)
+	if d := c.plane.delayFor(c.label, idx); d > 0 {
+		time.Sleep(d)
+	}
+	n, err := c.PacketConn.WriteTo(b, addr)
+	if err != nil {
+		return n, err
+	}
+	if hit, _ := c.plane.pktDecide(PacketDup, c.label, "tx", idx); hit {
+		_, _ = c.PacketConn.WriteTo(b, addr)
+	}
+	return n, err
+}

@@ -1,0 +1,181 @@
+package faults
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// udpPair returns two connected loopback UDP sockets.
+func udpPair(t *testing.T) (a, b net.PacketConn, aAddr, bAddr net.Addr) {
+	t.Helper()
+	pa, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pa.Close(); pb.Close() })
+	return pa, pb, pa.LocalAddr(), pb.LocalAddr()
+}
+
+func pktPlane(t *testing.T, f Fault) *Plane {
+	t.Helper()
+	plane, err := New(testTopo(t), Scenario{Seed: 17, Faults: []Fault{f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plane
+}
+
+func TestWrapPacketConnLossDropsEverything(t *testing.T) {
+	a, b, _, bAddr := udpPair(t)
+	plane := pktPlane(t, Fault{Kind: PacketLoss, Rate: 1})
+	rb := plane.WrapPacketConn(b, "crpd")
+
+	for i := 0; i < 3; i++ {
+		if _, err := a.WriteTo([]byte("ping"), bAddr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rb.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	buf := make([]byte, 64)
+	if n, _, err := rb.ReadFrom(buf); err == nil {
+		t.Fatalf("read %q through a rate-1 loss fault, want timeout", buf[:n])
+	}
+	if plane.Activations()[PacketLoss] < 3 {
+		t.Fatalf("loss activations = %d, want >= 3", plane.Activations()[PacketLoss])
+	}
+}
+
+func TestWrapPacketConnLossRespectsLabel(t *testing.T) {
+	a, b, _, bAddr := udpPair(t)
+	plane := pktPlane(t, Fault{Kind: PacketLoss, Rate: 1, Target: "dns"})
+	rb := plane.WrapPacketConn(b, "crpd") // fault targets "dns", not us
+
+	if _, err := a.WriteTo([]byte("ping"), bAddr); err != nil {
+		t.Fatal(err)
+	}
+	rb.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 64)
+	n, _, err := rb.ReadFrom(buf)
+	if err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("read = %q, %v; want ping through untargeted conn", buf[:n], err)
+	}
+}
+
+func TestWrapPacketConnDupDeliversTwice(t *testing.T) {
+	a, b, _, bAddr := udpPair(t)
+	plane := pktPlane(t, Fault{Kind: PacketDup, Rate: 1})
+	wa := plane.WrapPacketConn(a, "crpd")
+
+	if _, err := wa.WriteTo([]byte("once"), bAddr); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	for i := 0; i < 2; i++ {
+		b.SetReadDeadline(time.Now().Add(time.Second))
+		n, _, err := b.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("copy %d: %v", i+1, err)
+		}
+		if string(buf[:n]) != "once" {
+			t.Fatalf("copy %d = %q", i+1, buf[:n])
+		}
+	}
+	if plane.Activations()[PacketDup] == 0 {
+		t.Fatal("dup fault never fired")
+	}
+}
+
+func TestWrapPacketConnReorderSwapsAdjacent(t *testing.T) {
+	a, b, _, bAddr := udpPair(t)
+	plane := pktPlane(t, Fault{Kind: PacketReorder, Rate: 1})
+	rb := plane.WrapPacketConn(b, "crpd")
+
+	// Send A then B with a gap so arrival order is deterministic.
+	if _, err := a.WriteTo([]byte("A"), bAddr); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if _, err := a.WriteTo([]byte("B"), bAddr); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, 64)
+	var got []string
+	for len(got) < 2 {
+		rb.SetReadDeadline(time.Now().Add(time.Second))
+		n, _, err := rb.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("after %v: %v", got, err)
+		}
+		got = append(got, string(buf[:n]))
+	}
+	if got[0] != "B" || got[1] != "A" {
+		t.Fatalf("delivery order %v, want [B A] (adjacent swap)", got)
+	}
+	if plane.Activations()[PacketReorder] == 0 {
+		t.Fatal("reorder fault never fired")
+	}
+}
+
+func TestWrapPacketConnDelaySlowsWrites(t *testing.T) {
+	a, b, _, bAddr := udpPair(t)
+	plane := pktPlane(t, Fault{Kind: PacketDelay, ExtraMs: 60})
+	wa := plane.WrapPacketConn(a, "crpd")
+
+	start := time.Now()
+	if _, err := wa.WriteTo([]byte("slow"), bAddr); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// Jitter is ±50%, so the floor is 30ms.
+	if elapsed < 25*time.Millisecond {
+		t.Fatalf("delayed write took %v, want >= ~30ms", elapsed)
+	}
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 64)
+	if _, _, err := b.ReadFrom(buf); err != nil {
+		t.Fatal(err)
+	}
+	if plane.Activations()[PacketDelay] == 0 {
+		t.Fatal("delay fault never fired")
+	}
+}
+
+func TestWrapPacketConnWindowGatedByClock(t *testing.T) {
+	a, b, _, bAddr := udpPair(t)
+	clk := netsim.NewClock()
+	plane, err := New(testTopo(t), Scenario{Seed: 17, Faults: []Fault{
+		{Kind: PacketLoss, Rate: 1, Start: Duration(time.Hour)},
+	}}, WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := plane.WrapPacketConn(b, "crpd")
+	buf := make([]byte, 64)
+
+	// Before the window: traffic flows.
+	if _, err := a.WriteTo([]byte("early"), bAddr); err != nil {
+		t.Fatal(err)
+	}
+	rb.SetReadDeadline(time.Now().Add(time.Second))
+	if n, _, err := rb.ReadFrom(buf); err != nil || string(buf[:n]) != "early" {
+		t.Fatalf("pre-window read = %q, %v", buf[:n], err)
+	}
+
+	// Advance into the window: traffic dies.
+	clk.Advance(2 * time.Hour)
+	if _, err := a.WriteTo([]byte("late"), bAddr); err != nil {
+		t.Fatal(err)
+	}
+	rb.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if n, _, err := rb.ReadFrom(buf); err == nil {
+		t.Fatalf("read %q inside the loss window, want timeout", buf[:n])
+	}
+}

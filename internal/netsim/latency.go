@@ -116,7 +116,8 @@ func (t *Topology) spikeMs(h *Host, at time.Duration) float64 {
 
 // RTTMs returns the true instantaneous round-trip time between a and b at
 // virtual time at, in milliseconds. This is the ground truth experiments
-// score against.
+// score against. An installed Perturb contributes per-endpoint extra delay
+// and shifts each endpoint's local time-varying state by its clock skew.
 func (t *Topology) RTTMs(a, b HostID, at time.Duration) float64 {
 	if a == b {
 		return 0
@@ -125,7 +126,14 @@ func (t *Topology) RTTMs(a, b HostID, at time.Duration) float64 {
 	if math.IsNaN(base) {
 		return base
 	}
-	return base + t.congestionMs(t.Host(a), at) + t.congestionMs(t.Host(b), at)
+	p := t.perturbOf()
+	rtt := base +
+		t.congestionMs(t.Host(a), skewedTime(p, a, at)) +
+		t.congestionMs(t.Host(b), skewedTime(p, b, at))
+	if p != nil {
+		rtt += p.ExtraRTTMs(a, at) + p.ExtraRTTMs(b, at)
+	}
+	return rtt
 }
 
 // MeasureRTTMs returns a noisy observation of RTT(a,b) at time at, as a

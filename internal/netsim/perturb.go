@@ -1,0 +1,59 @@
+package netsim
+
+import (
+	"time"
+)
+
+// Perturb is an injected perturbation of the latency model: a fault plane
+// (or any other controller) that adds per-host delay and per-host clock
+// skew on top of the generated topology's behaviour. The topology itself
+// stays immutable — a perturbation is consulted, never written through —
+// so two topologies generated from the same Params remain identical and a
+// perturbed run is reproduced exactly by re-attaching an identical
+// perturbation.
+//
+// Implementations must be deterministic functions of their inputs (and
+// safe for concurrent use): the simulator's reproducibility contract
+// extends through this hook.
+type Perturb interface {
+	// ExtraRTTMs is the additional one-host delay (in milliseconds) host h
+	// contributes to any RTT evaluated at virtual time at. It is applied
+	// once per endpoint, mirroring how congestionMs composes.
+	ExtraRTTMs(h HostID, at time.Duration) float64
+	// ClockSkew is host h's clock error at virtual time at: the offset
+	// between h's local clock and true virtual time. Time-varying state
+	// local to h (its diurnal congestion phase) is evaluated at the skewed
+	// time, and measurement layers may stamp h's observations with it.
+	ClockSkew(h HostID, at time.Duration) time.Duration
+}
+
+// perturbBox wraps a Perturb so atomic.Value sees one concrete type even
+// when callers install different implementations over the topology's life.
+type perturbBox struct{ p Perturb }
+
+// SetPerturb installs (or, with nil, removes) the topology's perturbation.
+// Safe to call concurrently with RTT evaluation; the switch is atomic.
+func (t *Topology) SetPerturb(p Perturb) {
+	t.perturb.Store(perturbBox{p: p})
+}
+
+// perturbOf returns the installed perturbation, or nil.
+func (t *Topology) perturbOf() Perturb {
+	if b, ok := t.perturb.Load().(perturbBox); ok {
+		return b.p
+	}
+	return nil
+}
+
+// skewedTime returns virtual time as host h's clock reads it, clamped at
+// the epoch so skew cannot produce negative simulation time.
+func skewedTime(p Perturb, h HostID, at time.Duration) time.Duration {
+	if p == nil {
+		return at
+	}
+	at += p.ClockSkew(h, at)
+	if at < 0 {
+		return 0
+	}
+	return at
+}

@@ -12,6 +12,7 @@ import (
 	"math/rand/v2"
 	"net/netip"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -133,6 +134,10 @@ type Topology struct {
 
 	byName map[string]HostID
 	byAddr map[netip.Addr]HostID
+
+	// perturb holds the optional Perturb (wrapped in perturbBox) consulted
+	// by the time-varying latency model. See SetPerturb.
+	perturb atomic.Value
 }
 
 // Generate builds a topology from p. Generation is deterministic in p.
