@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet check test-faults
+.PHONY: build test bench race vet fmt check test-faults
 
 build:
 	$(GO) build ./...
@@ -14,32 +14,40 @@ test:
 # (BENCH_churn.json: query latency under continuous ingestion, sharded store
 # vs the single-snapshot baseline, 50k nodes), then the fault sweep
 # (BENCH_faults.json: closest-node accuracy across probe-loss rates x CDN
-# staleness windows). All reports embed provenance metadata (seed, host
-# width, go version, scale knobs).
+# staleness windows), then the gossip sweep (BENCH_gossip.json: multi-daemon
+# convergence rounds and replication fidelity across rumor fanout x
+# gossip-link packet loss). All reports embed provenance metadata (seed,
+# host width, go version, scale knobs).
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 	$(GO) run ./cmd/crpbench -exp crpd -quick -out BENCH_crpd.json
 	$(GO) run ./cmd/crpbench -exp churn -out BENCH_churn.json
 	$(GO) run ./cmd/crpbench -exp faults -out BENCH_faults.json
+	$(GO) run ./cmd/crpbench -exp gossip -out BENCH_gossip.json
 
 # test-faults runs the fault-injection degradation suite (clean-vs-faulted
 # accuracy envelopes per fault class, activation-counter assertions,
 # byte-identical reruns) under the race detector, the packet-level fault
 # tests on the dnsserver and crpd UDP paths, then a short fuzz smoke over
-# the two wire decoders.
+# the three wire decoders.
 test-faults:
-	$(GO) test -race -run 'Degradation|Faults|WrapPacketConn|Scenario|Storm|Probe|LDNS|MapEpoch|Activation|Clock' ./internal/faults/ ./internal/experiment/
+	$(GO) test -race -run 'Degradation|Faults|WrapPacketConn|Scenario|Storm|Probe|LDNS|MapEpoch|Activation|Clock|Gossip' ./internal/faults/ ./internal/experiment/
 	$(GO) test -race -run 'Retransmit|SurvivesDuplicated|UnderDup|UnderTotal|Decode|Hostile|Boundary' ./internal/dnsserver/ ./internal/crpdaemon/
 	$(GO) test -fuzz FuzzUnpack -fuzztime 10s ./internal/dnswire/
 	$(GO) test -fuzz FuzzDecodeRequest -fuzztime 10s ./internal/crpdaemon/
+	$(GO) test -fuzz FuzzDecodePeerMsg -fuzztime 10s ./internal/peering/
 
 vet:
 	$(GO) vet ./...
 
+# fmt fails when any file diverges from gofmt, printing the offenders.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 race:
 	$(GO) test -race ./...
 
-# check is the pre-merge gate: static analysis plus the full suite under the
-# race detector (the crp package runs real goroutine fan-out in its query and
-# clustering paths).
-check: vet race
+# check is the pre-merge gate: formatting, static analysis, then the full
+# suite under the race detector (the crp package runs real goroutine fan-out
+# in its query and clustering paths).
+check: fmt vet race

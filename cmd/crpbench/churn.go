@@ -12,10 +12,8 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -95,18 +93,19 @@ func runChurn(quick bool, seed int64, nodeCount int, out string) error {
 	}
 
 	report := churnReport{
-		Meta:         newBenchMeta("churn", seed, quick),
+		Meta: newBenchMeta("churn", seed, quick, map[string]int64{
+			"nodes":                 int64(nodes),
+			"metros":                int64(metros),
+			"query_workers":         int64(queryWorkers),
+			"ingest_target_per_sec": int64(ingestRate),
+			"phase_ms":              phase.Milliseconds(),
+		}),
 		QueryWorkers: queryWorkers,
 		IngestTarget: ingestRate,
 		PhaseSeconds: phase.Seconds(),
 		Single:       single,
 		Sharded:      sharded,
 	}
-	report.Meta.Scale["nodes"] = int64(nodes)
-	report.Meta.Scale["metros"] = int64(metros)
-	report.Meta.Scale["query_workers"] = int64(queryWorkers)
-	report.Meta.Scale["ingest_target_per_sec"] = int64(ingestRate)
-	report.Meta.Scale["phase_ms"] = phase.Milliseconds()
 	if sharded.QueryP99Micros > 0 {
 		report.P99Improvement = single.QueryP99Micros / sharded.QueryP99Micros
 	}
@@ -124,18 +123,7 @@ func runChurn(quick bool, seed int64, nodeCount int, out string) error {
 	fmt.Printf("\nquery p99 under continuous ingestion: %.0fus -> %.0fus (%.1fx improvement; acceptance target >= 5x)\n",
 		single.QueryP99Micros, sharded.QueryP99Micros, report.P99Improvement)
 	dumpObs("churn bench")
-
-	if out != "" {
-		blob, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("report written to %s\n", out)
-	}
-	return nil
+	return writeReport(out, report)
 }
 
 // runChurnMode seeds one service and drives the interleaved workload: a

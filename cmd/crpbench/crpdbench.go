@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
-	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -163,7 +162,12 @@ func runCrpdBench(quick bool, seed int64, out string) error {
 	contended.HandlerP99Micros = contHandler.Quantile(0.99) * 1e6
 
 	report := crpdReport{
-		Meta:              newBenchMeta("crpd", seed, quick),
+		Meta: newBenchMeta("crpd", seed, quick, map[string]int64{
+			"nodes":               int64(len(nodes)),
+			"cheap_clients":       int64(cheapClients),
+			"requests_per_client": int64(perClient),
+			"heavy_clients":       int64(heavyClients),
+		}),
 		Nodes:             len(nodes),
 		CheapClients:      cheapClients,
 		RequestsPerClient: perClient,
@@ -172,10 +176,6 @@ func runCrpdBench(quick bool, seed int64, out string) error {
 		Contended:         contended,
 		HeavyRequests:     int(heavyReqs),
 	}
-	report.Meta.Scale["nodes"] = int64(len(nodes))
-	report.Meta.Scale["cheap_clients"] = int64(cheapClients)
-	report.Meta.Scale["requests_per_client"] = int64(perClient)
-	report.Meta.Scale["heavy_clients"] = int64(heavyClients)
 	if heavyReqs > 0 {
 		report.HeavyMeanMillis = float64(heavyNanos) / float64(heavyReqs) / 1e6
 	}
@@ -205,18 +205,7 @@ func runCrpdBench(quick bool, seed int64, out string) error {
 	fmt.Printf("cheap-op round-trip p99 ratio: %.2fx (includes host-level time slicing at GOMAXPROCS=%d)\n\n",
 		report.P99Ratio, runtime.GOMAXPROCS(0))
 	fmt.Print(renderObsSnapshot("crpd bench", report.Stats))
-
-	if out != "" {
-		blob, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("\nreport written to %s\n", out)
-	}
-	return nil
+	return writeReport(out, report)
 }
 
 // startHeavyLoad launches clients that issue distinct_clusters requests in a

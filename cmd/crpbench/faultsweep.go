@@ -10,9 +10,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"time"
 
 	"repro/internal/experiment"
@@ -52,13 +50,14 @@ func runFaultSweep(quick bool, seed int64, out string) error {
 	fmt.Printf("faults sweep: %d clients, %d candidates, %d probes; %d loss rates x %d freeze windows\n",
 		params.NumClients, params.NumCandidates, schedule.Probes, len(lossRates), len(freezeMins))
 
-	report := faultsReport{Meta: newBenchMeta("faults", seed, quick)}
-	report.Meta.Scale["clients"] = int64(params.NumClients)
-	report.Meta.Scale["candidates"] = int64(params.NumCandidates)
-	report.Meta.Scale["replicas"] = int64(params.NumReplicas)
-	report.Meta.Scale["probes"] = int64(schedule.Probes)
-	report.Meta.Scale["loss_rates"] = int64(len(lossRates))
-	report.Meta.Scale["freeze_windows"] = int64(len(freezeMins))
+	report := faultsReport{Meta: newBenchMeta("faults", seed, quick, map[string]int64{
+		"clients":        int64(params.NumClients),
+		"candidates":     int64(params.NumCandidates),
+		"replicas":       int64(params.NumReplicas),
+		"probes":         int64(schedule.Probes),
+		"loss_rates":     int64(len(lossRates)),
+		"freeze_windows": int64(len(freezeMins)),
+	})}
 
 	fmt.Printf("\n%-10s %-12s %14s %14s %12s %12s\n",
 		"loss", "staleness", "top1 clean", "top1 faulted", "no-signal", "good-frac")
@@ -104,16 +103,5 @@ func runFaultSweep(quick bool, seed int64, out string) error {
 		}
 	}
 	dumpObs("faults sweep")
-
-	if out != "" {
-		blob, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("report written to %s\n", out)
-	}
-	return nil
+	return writeReport(out, report)
 }

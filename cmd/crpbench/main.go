@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations|kernels|crpd|churn|faults] [-quick] [-seed N] [-nodes N] [-out FILE]
+//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations|kernels|crpd|churn|faults|gossip] [-quick] [-seed N] [-nodes N] [-out FILE]
 //
 // The kernels, crpd, churn and faults experiments are not from the paper:
 // kernels compares the map-based similarity path (Dot + two Norms per pair)
@@ -16,8 +16,10 @@
 // the single-snapshot baseline, reporting query p50/p99 and
 // snapshot-rebuild counts; faults sweeps the deterministic fault-injection
 // plane across probe-loss rates and CDN map-staleness windows and reports
-// the accuracy degradation at each point. All four write their report JSON
-// (with provenance metadata) to -out.
+// the accuracy degradation at each point; gossip sweeps the multi-daemon
+// peering plane across rumor fanout and gossip-link packet loss and reports
+// convergence rounds and replication fidelity. All five write their report
+// JSON (with provenance metadata) to -out.
 //
 // Every experiment dumps the process-wide obs metrics snapshot when it
 // finishes, so each run leaves instrumentation data alongside its tables.
@@ -45,7 +47,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("crpbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations, kernels, crpd, churn, faults")
+	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations, kernels, crpd, churn, faults, gossip")
 	quick := fs.Bool("quick", false, "run a reduced-scale configuration")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	nodes := fs.Int("nodes", 0, "override the churn experiment's node count (0 = default scale)")
@@ -67,6 +69,9 @@ func run(args []string) error {
 	}
 	if *exp == "faults" {
 		return runFaultSweep(*quick, *seed, *out)
+	}
+	if *exp == "gossip" {
+		return runGossipBench(*quick, *seed, *out)
 	}
 
 	params := experiment.DefaultScenarioParams()
@@ -199,7 +204,7 @@ func run(args []string) error {
 	}
 
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of: all fig4 fig5 table1 fig6 fig7 fig8 fig9 repair sec6 ablations kernels crpd churn)", *exp)
+		return fmt.Errorf("unknown experiment %q (want one of: all fig4 fig5 table1 fig6 fig7 fig8 fig9 repair sec6 ablations kernels crpd churn faults gossip)", *exp)
 	}
 	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

@@ -1,6 +1,11 @@
 package main
 
-import "runtime"
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
 
 // benchMeta is the provenance block embedded in every BENCH_*.json crpbench
 // emits. Bench files used to be bare numbers, which made trajectory
@@ -22,9 +27,14 @@ type benchMeta struct {
 	Scale map[string]int64 `json:"scale,omitempty"`
 }
 
-// newBenchMeta captures the run's provenance. Scale knobs are added by the
-// experiment before the report is written.
-func newBenchMeta(experiment string, seed int64, quick bool) benchMeta {
+// newBenchMeta captures the run's provenance. scale holds the
+// experiment-specific size knobs actually used (post -quick and flag
+// overrides); it is stored as-is, so callers may keep adding to it until
+// the report is written.
+func newBenchMeta(experiment string, seed int64, quick bool, scale map[string]int64) benchMeta {
+	if scale == nil {
+		scale = make(map[string]int64)
+	}
 	return benchMeta{
 		Experiment: experiment,
 		Seed:       seed,
@@ -34,6 +44,24 @@ func newBenchMeta(experiment string, seed int64, quick bool) benchMeta {
 		GoVersion:  runtime.Version(),
 		OS:         runtime.GOOS,
 		Arch:       runtime.GOARCH,
-		Scale:      make(map[string]int64),
+		Scale:      scale,
 	}
+}
+
+// writeReport marshals a bench report to indented JSON (trailing newline, so
+// reruns diff cleanly against checked-in files) and writes it to out. A
+// no-op when out is empty: every experiment accepts -out optionally.
+func writeReport(out string, report any) error {
+	if out == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", out)
+	return nil
 }

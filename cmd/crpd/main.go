@@ -9,6 +9,8 @@
 //
 //	crpd [-listen 127.0.0.1:5353] [-window 10] [-state FILE]
 //	     [-cheap-workers N] [-heavy-workers N] [-queue N] [-timeout 5s]
+//	     [-gossip-listen ADDR] [-peers ADDR,ADDR] [-gossip-interval 1s]
+//	     [-daemon-id ID]
 //
 // Request shapes:
 //
@@ -20,6 +22,8 @@
 //	{"op":"distinct_clusters","n":3,"threshold":0.1}
 //	{"op":"nodes"}
 //	{"op":"stats"}
+//	{"op":"peer-join","addr":"host:port"}
+//	{"op":"peer-status"}
 //
 // Every response carries {"ok":true,...} or {"ok":false,"error":"..."};
 // replies to requests that overran the daemon's deadline additionally set
@@ -29,6 +33,11 @@
 // Requests are served by two bounded worker pools (cheap ops and SMF
 // clustering ops), so clustering load never head-of-line-blocks the cheap
 // queries; see internal/crpdaemon.
+//
+// With -gossip-listen set, the daemon also joins a replication mesh: every
+// locally observed or forgotten node gossips to its peers and anti-entropy
+// keeps the stores converged (see internal/peering and DESIGN.md §8). Peers
+// are seeded with -peers or at runtime through the peer-join op.
 package main
 
 import (
@@ -39,11 +48,13 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/crp"
 	"repro/internal/crpdaemon"
+	"repro/internal/peering"
 )
 
 func main() {
@@ -62,8 +73,15 @@ func run(args []string) error {
 	heavyWorkers := flags.Int("heavy-workers", 0, "workers for clustering ops (0 = max(1, NumCPU/2))")
 	queueDepth := flags.Int("queue", 0, "per-pool queue depth (0 = 256)")
 	timeout := flags.Duration("timeout", 5*time.Second, "per-request deadline")
+	gossipListen := flags.String("gossip-listen", "", "UDP address for the gossip mesh (empty = peering disabled)")
+	peers := flags.String("peers", "", "comma-separated gossip addresses to join at startup")
+	gossipInterval := flags.Duration("gossip-interval", time.Second, "gossip round cadence")
+	daemonID := flags.String("daemon-id", "", "this daemon's mesh identity (default: the gossip listen address)")
 	if err := flags.Parse(args); err != nil {
 		return err
+	}
+	if *peers != "" && *gossipListen == "" {
+		return errors.New("-peers requires -gossip-listen")
 	}
 
 	var opts []crp.TrackerOption
@@ -80,6 +98,46 @@ func run(args []string) error {
 		}
 	}
 
+	// The gossip engine must be wired before the service takes traffic so
+	// every local mutation is stamped and queued for rumor propagation.
+	var peer *peering.Peering
+	var gossipPC net.PacketConn
+	if *gossipListen != "" {
+		var err error
+		gossipPC, err = net.ListenPacket("udp", *gossipListen)
+		if err != nil {
+			return fmt.Errorf("gossip listen: %w", err)
+		}
+		id := *daemonID
+		if id == "" {
+			id = gossipPC.LocalAddr().String()
+		}
+		peer, err = peering.New(peering.Config{
+			Self:     id,
+			Addr:     gossipPC.LocalAddr().String(),
+			Service:  svc,
+			Interval: *gossipInterval,
+		})
+		if err != nil {
+			gossipPC.Close()
+			return err
+		}
+		peer.Attach(gossipPC)
+		if err := peer.Start(); err != nil {
+			gossipPC.Close()
+			return err
+		}
+		fmt.Printf("crpd gossiping on %s as %q\n", gossipPC.LocalAddr(), id)
+		for _, addr := range strings.Split(*peers, ",") {
+			if addr = strings.TrimSpace(addr); addr == "" {
+				continue
+			}
+			if err := peer.Join(addr); err != nil {
+				fmt.Fprintf(os.Stderr, "crpd: join %s: %v\n", addr, err)
+			}
+		}
+	}
+
 	pc, err := net.ListenPacket("udp", *listen)
 	if err != nil {
 		return err
@@ -89,6 +147,7 @@ func run(args []string) error {
 		HeavyWorkers: *heavyWorkers,
 		QueueDepth:   *queueDepth,
 		Timeout:      *timeout,
+		Peering:      peer,
 	})
 	if err != nil {
 		pc.Close()
@@ -101,6 +160,10 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	if peer != nil {
+		peer.Close()
+		gossipPC.Close()
+	}
 	if *statePath != "" {
 		if err := saveState(svc, *statePath); err != nil {
 			fmt.Fprintln(os.Stderr, "crpd: save state:", err)

@@ -66,3 +66,10 @@ func TestLoadStateCorruptFileFails(t *testing.T) {
 		t.Error("corrupt state file accepted")
 	}
 }
+
+func TestPeersFlagRequiresGossipListen(t *testing.T) {
+	err := run([]string{"-peers", "127.0.0.1:9999"})
+	if err == nil || err.Error() != "-peers requires -gossip-listen" {
+		t.Fatalf("err = %v, want the -peers/-gossip-listen coupling error", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -73,12 +74,40 @@ func shardCount(n int) int {
 	return p
 }
 
+// entryMeta is the replication metadata of one node entry: which daemon's
+// mutation produced the entry's current probe window (origin), how many
+// mutations the entry has seen (version, monotonic per node), and whether
+// the entry is a deletion tombstone awaiting garbage collection. Tombstones
+// keep a deletion time so the GC horizon can reclaim them once every peer
+// has had a chance to learn about the forget.
+type entryMeta struct {
+	origin    string
+	version   uint64
+	deleted   bool
+	deletedAt time.Time
+}
+
+// meta converts the internal record to the exported NodeMeta form.
+func (e entryMeta) meta(node NodeID) NodeMeta {
+	return NodeMeta{Node: node, Origin: e.origin, Version: e.version, Deleted: e.deleted}
+}
+
 // store is the sharded tracker map plus the stitched-snapshot cache.
 type store struct {
 	shards []storeShard
 	mask   uint32
 	opts   []TrackerOption
 	full   bool // FullRebuild mode
+
+	// Replication identity, set once before traffic by the peering layer
+	// (see Service.SetOrigin/SetClock/SetMutationHook). origin stamps local
+	// mutations; now times tombstones; onMutate, when non-nil, is invoked
+	// after every local Observe/Forget so a gossip layer can queue the node
+	// for rumor propagation. Remote delta application (applyDelta) does not
+	// fire the hook — the peering layer forwards those itself.
+	origin   string
+	now      func() time.Time
+	onMutate func(NodeID)
 
 	// version counts completed mutations store-wide; it is bumped strictly
 	// after the mutation (tracker update and shard bookkeeping) lands, so a
@@ -105,6 +134,12 @@ type storeShard struct {
 	// the mark always compiles the post-mutation vector.
 	dirty      map[NodeID]struct{}
 	structural bool
+
+	// meta carries the replication metadata of every entry this shard has
+	// ever learned about, including tombstones for forgotten nodes (which
+	// have no tracker). Guarded by mu. Invariant: every key of trackers has
+	// a meta record with deleted == false; deleted records have no tracker.
+	meta map[NodeID]entryMeta
 
 	// version counts completed mutations to this shard, bumped after the
 	// mutation lands (same publication rule as store.version).
@@ -153,10 +188,12 @@ func newStore(cfg StoreConfig, opts []TrackerOption) *store {
 		mask:   uint32(n - 1),
 		opts:   opts,
 		full:   cfg.FullRebuild,
+		now:    time.Now,
 	}
 	for i := range st.shards {
 		st.shards[i].trackers = make(map[NodeID]*Tracker)
 		st.shards[i].dirty = make(map[NodeID]struct{})
+		st.shards[i].meta = make(map[NodeID]entryMeta)
 		st.shards[i].nodes = obs.Default().Gauge(fmt.Sprintf("crp.service.shard.%03d.nodes", i))
 	}
 	svcMetrics.shardWidth.Set(int64(n))
@@ -173,8 +210,8 @@ func shardCount2(n int) int {
 	return p
 }
 
-// shardFor routes a node to its shard by FNV-1a over the ID bytes.
-func (st *store) shardFor(id NodeID) *storeShard {
+// shardIndex routes a node to its shard index by FNV-1a over the ID bytes.
+func (st *store) shardIndex(id NodeID) int {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
@@ -184,12 +221,21 @@ func (st *store) shardFor(id NodeID) *storeShard {
 		h ^= uint32(id[i])
 		h *= prime32
 	}
-	return &st.shards[h&st.mask]
+	return int(h & st.mask)
 }
 
-// observe records one probe for node, creating its tracker on first sight,
-// and publishes the mutation: tracker update, then dirty mark, then the
-// version bumps. Only node's shard is invalidated.
+// shardFor routes a node to its shard.
+func (st *store) shardFor(id NodeID) *storeShard {
+	return &st.shards[st.shardIndex(id)]
+}
+
+// observe records one probe for node, creating its tracker on first sight
+// (or resurrecting it over a tombstone), and publishes the mutation: tracker
+// update, then dirty mark and metadata stamp, then the version bumps. Only
+// node's shard is invalidated. The metadata stamp happens under the shard
+// lock together with the dirty mark, so concurrent observes of the same node
+// each advance the entry version by exactly one and the final version always
+// describes the final probe window.
 func (st *store) observe(node NodeID, tr func(*Tracker)) {
 	sh := st.shardFor(node)
 	sh.mu.Lock()
@@ -206,13 +252,24 @@ func (st *store) observe(node NodeID, tr func(*Tracker)) {
 
 	sh.mu.Lock()
 	sh.dirty[node] = struct{}{}
+	m := sh.meta[node]
+	m.origin, m.version = st.origin, m.version+1
+	m.deleted, m.deletedAt = false, time.Time{}
+	sh.meta[node] = m
 	sh.mu.Unlock()
 	sh.version.Add(1)
 	st.version.Add(1)
+	if st.onMutate != nil {
+		st.onMutate(node)
+	}
 }
 
-// forget removes a node. Like the pre-sharding design, the versions bump
-// even when the node was unknown, so forget is always a snapshot barrier.
+// forget removes a node, leaving a deletion tombstone so the forget can
+// propagate to gossip peers before the GC horizon reclaims it. Like the
+// pre-sharding design, the versions bump even when the node was unknown, so
+// forget is always a snapshot barrier; the tombstone is written either way,
+// making a forget-by-name effective mesh-wide even when issued on a daemon
+// that never observed the node.
 func (st *store) forget(node NodeID) {
 	sh := st.shardFor(node)
 	sh.mu.Lock()
@@ -221,9 +278,17 @@ func (st *store) forget(node NodeID) {
 		sh.structural = true
 		sh.nodes.Dec()
 	}
+	delete(sh.dirty, node)
+	m := sh.meta[node]
+	m.origin, m.version = st.origin, m.version+1
+	m.deleted, m.deletedAt = true, st.now()
+	sh.meta[node] = m
 	sh.mu.Unlock()
 	sh.version.Add(1)
 	st.version.Add(1)
+	if st.onMutate != nil {
+		st.onMutate(node)
+	}
 }
 
 // get returns node's tracker.
@@ -365,6 +430,167 @@ func (sh *storeShard) vecs(full bool) []nodeVec {
 	}
 	sh.snapVecs, sh.snapVersion = patched, v
 	return patched
+}
+
+// applyDelta installs a remotely-produced node entry if it supersedes the
+// local one under the last-writer-wins rule (NodeMeta.Supersedes). The probe
+// window is replaced wholesale — deltas carry the origin's full window, so
+// replication never interleaves probe histories and every replica of an entry
+// version is byte-identical. Returns false when the delta is stale or
+// idempotent (local meta equal or newer). Unlike observe/forget this does NOT
+// fire the mutation hook: the peering layer decides itself whether to forward
+// an applied delta (rumor TTL), and firing the hook here would re-stamp the
+// entry as a local mutation.
+func (st *store) applyDelta(d NodeDelta) bool {
+	// Build the replacement tracker outside the shard lock; replaying the
+	// probe window touches no shared state.
+	var t *Tracker
+	if !d.Deleted {
+		t = NewTracker(st.opts...)
+		for _, p := range d.Probes {
+			t.Observe(p.At, p.Replicas...)
+		}
+	}
+
+	sh := st.shardFor(d.Node)
+	sh.mu.Lock()
+	cur, known := sh.meta[d.Node]
+	if known && !d.NodeMeta.Supersedes(cur.meta(d.Node)) {
+		sh.mu.Unlock()
+		return false
+	}
+	_, hadTracker := sh.trackers[d.Node]
+	if d.Deleted {
+		if hadTracker {
+			delete(sh.trackers, d.Node)
+			sh.structural = true
+			sh.nodes.Dec()
+		}
+		delete(sh.dirty, d.Node)
+		sh.meta[d.Node] = entryMeta{
+			origin: d.Origin, version: d.Version,
+			deleted: true, deletedAt: d.DeletedAt,
+		}
+	} else {
+		sh.trackers[d.Node] = t
+		if !hadTracker {
+			sh.structural = true
+			sh.nodes.Inc()
+		} else {
+			// Wholesale replacement of an existing tracker: a dirty mark
+			// suffices, because the patch rebuild re-reads sh.trackers under
+			// the lock and so compiles the new tracker's vector.
+			sh.dirty[d.Node] = struct{}{}
+		}
+		sh.meta[d.Node] = entryMeta{origin: d.Origin, version: d.Version}
+	}
+	sh.mu.Unlock()
+	sh.version.Add(1)
+	st.version.Add(1)
+	return true
+}
+
+// exportDelta packages node's full current state — replication metadata plus
+// the complete probe window (empty for tombstones) — for transmission to a
+// peer. ok is false when the store has never heard of the node.
+func (st *store) exportDelta(node NodeID) (NodeDelta, bool) {
+	sh := st.shardFor(node)
+	sh.mu.RLock()
+	m, known := sh.meta[node]
+	t := sh.trackers[node]
+	sh.mu.RUnlock()
+	if !known {
+		return NodeDelta{}, false
+	}
+	d := NodeDelta{NodeMeta: m.meta(node), DeletedAt: m.deletedAt}
+	if t != nil {
+		d.Probes = t.Probes()
+	}
+	return d, true
+}
+
+// shardMetas returns the replication metadata of every entry (live and
+// tombstoned) in shard i, sorted by node ID. The peering layer ships these
+// flat lists when two peers' shard digests disagree.
+func (st *store) shardMetas(i int) []NodeMeta {
+	sh := &st.shards[i]
+	sh.mu.RLock()
+	out := make([]NodeMeta, 0, len(sh.meta))
+	for id, m := range sh.meta {
+		out = append(out, m.meta(id))
+	}
+	sh.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Node < out[b].Node })
+	return out
+}
+
+// shardDigest folds shard i's sorted metadata into one FNV-1a word. Two
+// shards with identical (node, origin, version, deleted) sets — the full
+// replicated state, since the probe window is a function of (origin, version)
+// — produce identical digests, so digest comparison is the cheap first phase
+// of anti-entropy: only shards whose words differ exchange metadata.
+func (st *store) shardDigest(i int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	metas := st.shardMetas(i)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for _, m := range metas {
+		for j := 0; j < len(m.Node); j++ {
+			mix(m.Node[j])
+		}
+		mix(0)
+		for j := 0; j < len(m.Origin); j++ {
+			mix(m.Origin[j])
+		}
+		mix(0)
+		for s := 0; s < 64; s += 8 {
+			mix(byte(m.Version >> s))
+		}
+		if m.Deleted {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	return h
+}
+
+// digests returns every shard's digest, indexed by shard.
+func (st *store) digests() []uint64 {
+	out := make([]uint64, len(st.shards))
+	for i := range st.shards {
+		out[i] = st.shardDigest(i)
+	}
+	return out
+}
+
+// gcTombstones deletes tombstones whose deletion time is before the horizon
+// and returns how many it reclaimed. Reclamation is metadata-only (tombstones
+// have no tracker and no compiled vector), so no version bump and no snapshot
+// invalidation. A peer that somehow missed the deletion for longer than the
+// GC horizon can briefly resurrect the entry through anti-entropy — the
+// horizon is the declared replication deadline, and DESIGN.md §8 documents
+// the trade.
+func (st *store) gcTombstones(horizon time.Time) int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for id, m := range sh.meta {
+			if m.deleted && m.deletedAt.Before(horizon) {
+				delete(sh.meta, id)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // vecSorter sorts a nodeVec slice by ID while keeping a parallel tracker

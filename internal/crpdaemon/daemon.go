@@ -28,6 +28,7 @@ import (
 
 	"repro/crp"
 	"repro/internal/obs"
+	"repro/internal/peering"
 )
 
 // Request is the union of all operation payloads, one JSON object per UDP
@@ -46,18 +47,21 @@ type Request struct {
 	// threshold — is distinguishable from an absent field (which means
 	// crp.DefaultThreshold).
 	Threshold *float64 `json:"threshold,omitempty"`
+	// Addr is the gossip address of the peer to join (peer-join).
+	Addr string `json:"addr,omitempty"`
 }
 
 // Response is the generic reply envelope.
 type Response struct {
-	OK         bool               `json:"ok"`
-	Error      string             `json:"error,omitempty"`
-	TimedOut   bool               `json:"timedOut,omitempty"`
-	Similarity *float64           `json:"similarity,omitempty"`
-	RatioMap   map[string]float64 `json:"ratioMap,omitempty"`
-	Nodes      []string           `json:"nodes,omitempty"`
-	Ranked     []RankedNode       `json:"ranked,omitempty"`
-	Stats      *obs.Snapshot      `json:"stats,omitempty"`
+	OK         bool                  `json:"ok"`
+	Error      string                `json:"error,omitempty"`
+	TimedOut   bool                  `json:"timedOut,omitempty"`
+	Similarity *float64              `json:"similarity,omitempty"`
+	RatioMap   map[string]float64    `json:"ratioMap,omitempty"`
+	Nodes      []string              `json:"nodes,omitempty"`
+	Ranked     []RankedNode          `json:"ranked,omitempty"`
+	Stats      *obs.Snapshot         `json:"stats,omitempty"`
+	Peering    *peering.StatusReport `json:"peering,omitempty"`
 }
 
 // RankedNode is one entry of a "closest" reply.
@@ -94,6 +98,10 @@ type Config struct {
 	// Hook, when non-nil, runs at the start of every handler with the
 	// request op. Test-only seam for holding handlers in flight.
 	Hook func(op string)
+	// Peering, when non-nil, is the daemon's gossip engine; it enables the
+	// peer-join and peer-status ops. The caller owns its lifecycle (Start,
+	// Close, sockets) — the daemon only exposes it over the query protocol.
+	Peering *peering.Peering
 }
 
 func (c *Config) fillDefaults() {
@@ -169,6 +177,8 @@ var ops = map[string]bool{ // op -> heavy
 	"stats":             false,
 	"same_cluster":      true,
 	"distinct_clusters": true,
+	"peer-join":         false,
+	"peer-status":       false,
 }
 
 // Serve starts answering datagrams arriving on pc. The daemon owns pc after
@@ -479,7 +489,31 @@ func (d *Daemon) dispatch(req Request) Response {
 
 	case "stats":
 		snap := d.reg.Snapshot()
+		// The per-shard node gauges scale with the store width (up to 1024
+		// shards); at the wide end the raw family alone overflows the UDP
+		// reply budget, so the exported copy carries a six-field summary
+		// instead. The in-process registry keeps the full family.
+		snap.SummarizeGaugeFamily("crp.service.shard.", ".nodes", "crp.service.shard_nodes")
 		return Response{OK: true, Stats: &snap}
+
+	case "peer-join":
+		if d.cfg.Peering == nil {
+			return Response{Error: "peering disabled: daemon started without a gossip engine"}
+		}
+		if req.Addr == "" {
+			return Response{Error: "peer-join requires addr"}
+		}
+		if err := d.cfg.Peering.Join(req.Addr); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+
+	case "peer-status":
+		if d.cfg.Peering == nil {
+			return Response{Error: "peering disabled: daemon started without a gossip engine"}
+		}
+		st := d.cfg.Peering.Status()
+		return Response{OK: true, Peering: &st}
 
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}

@@ -308,14 +308,61 @@ func TestDaemonStatsExportsServiceMetrics(t *testing.T) {
 	if g := resp.Stats.Gauges["crp.service.shards"]; g <= 0 {
 		t.Errorf("shard-width gauge = %d, want > 0", g)
 	}
-	var shardNodes int64
-	for name, g := range resp.Stats.Gauges {
+	// The raw per-shard family is summarized for export (it can overflow the
+	// UDP reply at 1024 shards); the wire snapshot must carry the aggregate
+	// fields and none of the per-shard names.
+	if sum := resp.Stats.Gauges["crp.service.shard_nodes.sum"]; sum < 2 {
+		t.Errorf("shard-node summary sum = %d, want >= 2 (n1, n2 observed)", sum)
+	}
+	if cnt := resp.Stats.Gauges["crp.service.shard_nodes.count"]; cnt <= 0 {
+		t.Errorf("shard-node summary count = %d, want > 0", cnt)
+	}
+	for name := range resp.Stats.Gauges {
 		if strings.HasPrefix(name, "crp.service.shard.") && strings.HasSuffix(name, ".nodes") {
-			shardNodes += g
+			t.Errorf("per-shard gauge %s leaked into the wire snapshot", name)
 		}
 	}
-	if shardNodes < 2 {
-		t.Errorf("per-shard node gauges sum to %d, want >= 2 (n1, n2 observed)", shardNodes)
+}
+
+// TestDaemonStatsFitsReplyAtMaxShards is the regression for the oversized
+// stats reply: at the store's maximum width (1024 shards) the per-shard node
+// gauges alone used to push the JSON snapshot past MaxReplySize, so the
+// stats op answered "response too large". The summarized export must fit.
+func TestDaemonStatsFitsReplyAtMaxShards(t *testing.T) {
+	svc := crp.NewServiceWithStore(crp.StoreConfig{Shards: 1024}, crp.WithWindow(10))
+	reg := obs.Default() // the per-shard gauges live in the default registry
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Serve(pc, svc, Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	for i := 0; i < 64; i++ {
+		node := crp.NodeID(fmt.Sprintf("node-%03d", i))
+		if err := svc.Observe(node, time.Unix(int64(i), 0), "r1", "r2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wire := d.Handle([]byte(`{"op":"stats"}`))
+	if len(wire) > MaxReplySize {
+		t.Fatalf("stats reply is %d bytes, exceeds MaxReplySize %d", len(wire), MaxReplySize)
+	}
+	var resp Response
+	if err := json.Unmarshal(wire, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Stats == nil {
+		t.Fatalf("stats = %+v", resp)
+	}
+	if resp.Stats.Gauges["crp.service.shard_nodes.count"] <= 0 {
+		t.Errorf("summary count missing: %v", resp.Stats.Gauges["crp.service.shard_nodes.count"])
+	}
+	if resp.Stats.Gauges["crp.service.shard_nodes.sum"] < 64 {
+		t.Errorf("summary sum = %d, want >= 64", resp.Stats.Gauges["crp.service.shard_nodes.sum"])
 	}
 }
 

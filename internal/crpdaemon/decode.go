@@ -46,7 +46,8 @@ func decodeRequest(raw []byte) (Request, error) {
 // checkRequest validates the decoded fields against the wire bounds.
 func checkRequest(req *Request) error {
 	for _, f := range []struct{ name, v string }{
-		{"op", req.Op}, {"node", req.Node}, {"a", req.A}, {"b", req.B}, {"client", req.Client},
+		{"op", req.Op}, {"node", req.Node}, {"a", req.A}, {"b", req.B},
+		{"client", req.Client}, {"addr", req.Addr},
 	} {
 		if err := checkID(f.name, f.v); err != nil {
 			return err

@@ -1,7 +1,6 @@
 package faults
 
 import (
-	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -62,10 +61,17 @@ type Plane struct {
 	kindCounters map[Kind]*obs.Counter
 }
 
-// New compiles a scenario into a plane over the given topology.
+// New compiles a scenario into a plane over the given topology. A nil
+// topology is accepted when the scenario contains only pkt-* faults — the
+// packet path never consults the topology, and standalone consumers of
+// WrapPacketConn (the gossip mesh harness) have no simulated network at all.
 func New(topo *netsim.Topology, sc Scenario, opts ...Option) (*Plane, error) {
 	if topo == nil {
-		return nil, errors.New("faults: nil topology")
+		for i := range sc.Faults {
+			if !pktKinds[sc.Faults[i].Kind] {
+				return nil, fmt.Errorf("faults: nil topology, but fault %d (%s) needs one", i, sc.Faults[i].Kind)
+			}
+		}
 	}
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -74,9 +80,11 @@ func New(topo *netsim.Topology, sc Scenario, opts ...Option) (*Plane, error) {
 		topo:         topo,
 		sc:           sc,
 		reg:          obs.Default(),
-		churnPool:    topo.Clients(),
 		acts:         make([]atomic.Uint64, len(sc.Faults)),
 		kindCounters: make(map[Kind]*obs.Counter),
+	}
+	if topo != nil {
+		p.churnPool = topo.Clients()
 	}
 	for _, opt := range opts {
 		opt(p)

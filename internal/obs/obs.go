@@ -328,3 +328,52 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	return s
 }
+
+// SummarizeGaugeFamily collapses a numbered gauge family — every gauge named
+// prefix + digits + suffix — into summary gauges named out + ".count",
+// ".sum", ".min", ".mean", ".max" and ".p99" (nearest-rank), removing the
+// family members from the snapshot. It exists for wire export: a snapshot
+// carrying one gauge per store shard (up to 1024 since the store widened)
+// can exceed a UDP reply's size budget, while the summary is six fields
+// regardless of shard count. The in-process registry keeps full detail; only
+// the exported copy is collapsed. No-op when no family member matches.
+func (s *Snapshot) SummarizeGaugeFamily(prefix, suffix, out string) {
+	var values []int64
+	for name, v := range s.Gauges {
+		if len(name) <= len(prefix)+len(suffix) ||
+			name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+			continue
+		}
+		mid := name[len(prefix) : len(name)-len(suffix)]
+		digits := len(mid) > 0
+		for i := 0; i < len(mid); i++ {
+			if mid[i] < '0' || mid[i] > '9' {
+				digits = false
+				break
+			}
+		}
+		if !digits {
+			continue
+		}
+		values = append(values, v)
+		delete(s.Gauges, name)
+	}
+	if len(values) == 0 {
+		return
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	sum := int64(0)
+	for _, v := range values {
+		sum += v
+	}
+	rank := (99*len(values) + 99) / 100 // nearest-rank p99, 1-based
+	if rank > len(values) {
+		rank = len(values)
+	}
+	s.Gauges[out+".count"] = int64(len(values))
+	s.Gauges[out+".sum"] = sum
+	s.Gauges[out+".min"] = values[0]
+	s.Gauges[out+".mean"] = int64(math.Round(float64(sum) / float64(len(values))))
+	s.Gauges[out+".max"] = values[len(values)-1]
+	s.Gauges[out+".p99"] = values[rank-1]
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -211,5 +212,46 @@ func TestHistogramFirstRegistrationWins(t *testing.T) {
 	}
 	if got := len(h1.Snapshot().Bounds); got != 3 {
 		t.Errorf("bounds len = %d, want original 3", got)
+	}
+}
+
+func TestSummarizeGaugeFamily(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 100; i++ {
+		r.Gauge(fmt.Sprintf("fam.%03d.nodes", i)).Set(int64(i + 1)) // 1..100
+	}
+	r.Gauge("fam.total.nodes").Set(999) // middle not all digits: untouched
+	r.Gauge("fams").Set(777)            // different name shape: untouched
+	s := r.Snapshot()
+	s.SummarizeGaugeFamily("fam.", ".nodes", "fam.nodes")
+
+	want := map[string]int64{
+		"fam.nodes.count": 100,
+		"fam.nodes.sum":   5050,
+		"fam.nodes.min":   1,
+		"fam.nodes.mean":  51, // round(50.5)
+		"fam.nodes.max":   100,
+		"fam.nodes.p99":   99, // nearest-rank over 1..100
+	}
+	for name, v := range want {
+		if got := s.Gauges[name]; got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	for name := range s.Gauges {
+		if len(name) > 4 && name[:4] == "fam." && name != "fam.total.nodes" &&
+			name[:10] != "fam.nodes." {
+			t.Errorf("family member %s not removed", name)
+		}
+	}
+	if s.Gauges["fam.total.nodes"] != 999 || s.Gauges["fams"] != 777 {
+		t.Errorf("non-family gauges disturbed: %v", s.Gauges)
+	}
+
+	// Summarizing a family with no members is a no-op.
+	before := len(s.Gauges)
+	s.SummarizeGaugeFamily("absent.", ".x", "absent.x")
+	if len(s.Gauges) != before {
+		t.Errorf("no-op summarize changed the snapshot")
 	}
 }

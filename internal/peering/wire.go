@@ -1,0 +1,223 @@
+package peering
+
+import (
+	"encoding/json"
+	"fmt"
+	"unicode/utf8"
+
+	"repro/crp"
+)
+
+// Gossip wire protocol: one JSON Msg per UDP datagram, same discipline as
+// the crpd request path (internal/crpdaemon/decode.go) — every field that
+// sizes an allocation, keys a map or indexes a slice is bounded in one
+// decode function before any handler logic runs, so a hostile or corrupted
+// datagram costs one counter bump, never memory or CPU.
+
+// Msg types.
+const (
+	// MsgJoin introduces a daemon to a peer: "add me at Addr". The receiver
+	// answers MsgJoinAck (introducing itself back) so one join call meshes
+	// both sides.
+	MsgJoin = "join"
+	// MsgJoinAck confirms a join and carries the receiver's identity.
+	MsgJoinAck = "join-ack"
+	// MsgDelta carries full node entries (rumor push or anti-entropy
+	// repair). TTL is the remaining rumor hop budget.
+	MsgDelta = "delta"
+	// MsgDigest opens an anti-entropy round: per-shard digest words.
+	MsgDigest = "digest"
+	// MsgDiff answers a digest: the differing shard indices plus the
+	// sender's entry metadata for those shards.
+	MsgDiff = "diff"
+	// MsgPull requests full entries for the named nodes.
+	MsgPull = "pull"
+)
+
+// Wire bounds.
+const (
+	// MaxMsgSize bounds the raw datagram; it matches the read buffer.
+	MaxMsgSize = 64 * 1024
+	// MaxIDBytes bounds daemon IDs, addresses and node names (DNS-name
+	// scale, like crpd's identity fields).
+	MaxIDBytes = 255
+	// MaxShardCount bounds the digest vector and any shard index; it is the
+	// store's own width ceiling (crp shard clamp tops out at 1024, with
+	// headroom for explicit wider configs).
+	MaxShardCount = 4096
+	// MaxMetas bounds the flat metadata list of a diff.
+	MaxMetas = 4096
+	// MaxDeltas bounds the entries of one delta message.
+	MaxDeltas = 256
+	// MaxProbesPerDelta bounds one entry's probe window.
+	MaxProbesPerDelta = 4096
+	// MaxReplicasPerProbe bounds one probe's replica set.
+	MaxReplicasPerProbe = 64
+	// MaxPullNodes bounds the node list of a pull.
+	MaxPullNodes = 1024
+	// MaxTTL bounds the rumor hop budget.
+	MaxTTL = 16
+)
+
+// Msg is one gossip datagram. Fields are pooled across types; decodePeerMsg
+// checks only the bounds, handlers ignore fields their type doesn't use.
+type Msg struct {
+	Type string `json:"type"`
+	// From is the sender's daemon ID.
+	From string `json:"from"`
+	// Addr is the sender's gossip listen address (join/join-ack), so the
+	// receiver can add the sender as a peer.
+	Addr string `json:"addr,omitempty"`
+	// ShardCount is the sender's store width (digest); digest comparison is
+	// only defined between equal widths.
+	ShardCount int `json:"shardCount,omitempty"`
+	// Digests is the per-shard digest vector (digest).
+	Digests []uint64 `json:"digests,omitempty"`
+	// Shards lists the differing shard indices (diff).
+	Shards []int `json:"shards,omitempty"`
+	// Metas is the flat entry-metadata list for those shards (diff).
+	Metas []crp.NodeMeta `json:"metas,omitempty"`
+	// Deltas carries full node entries (delta).
+	Deltas []crp.NodeDelta `json:"deltas,omitempty"`
+	// Nodes names the entries requested (pull).
+	Nodes []string `json:"nodes,omitempty"`
+	// TTL is the remaining rumor hop budget of the carried deltas (delta).
+	TTL int `json:"ttl,omitempty"`
+}
+
+// validTypes gates Msg.Type.
+var validTypes = map[string]bool{
+	MsgJoin: true, MsgJoinAck: true, MsgDelta: true,
+	MsgDigest: true, MsgDiff: true, MsgPull: true,
+}
+
+// decodePeerMsg parses and bounds-checks one gossip datagram. It is the
+// single decode path — the socket loop and the deterministic in-memory
+// harness both route through it.
+func decodePeerMsg(raw []byte) (Msg, error) {
+	var m Msg
+	if len(raw) > MaxMsgSize {
+		return m, fmt.Errorf("message too large: %d bytes exceeds the %d-byte limit", len(raw), MaxMsgSize)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return m, fmt.Errorf("bad message: %v", err)
+	}
+	if err := checkPeerMsg(&m); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// checkPeerMsg validates the decoded fields against the wire bounds.
+func checkPeerMsg(m *Msg) error {
+	if !validTypes[m.Type] {
+		return fmt.Errorf("unknown message type %q", m.Type)
+	}
+	if err := checkID("from", m.From); err != nil {
+		return err
+	}
+	if m.From == "" {
+		return fmt.Errorf("from is required")
+	}
+	if err := checkID("addr", m.Addr); err != nil {
+		return err
+	}
+	if m.ShardCount < 0 || m.ShardCount > MaxShardCount {
+		return fmt.Errorf("shardCount %d outside [0, %d]", m.ShardCount, MaxShardCount)
+	}
+	if len(m.Digests) > MaxShardCount {
+		return fmt.Errorf("digest vector has %d entries, limit %d", len(m.Digests), MaxShardCount)
+	}
+	if len(m.Shards) > MaxShardCount {
+		return fmt.Errorf("shard list has %d entries, limit %d", len(m.Shards), MaxShardCount)
+	}
+	for i, s := range m.Shards {
+		if s < 0 || s >= MaxShardCount {
+			return fmt.Errorf("shards[%d] = %d outside [0, %d)", i, s, MaxShardCount)
+		}
+	}
+	if len(m.Metas) > MaxMetas {
+		return fmt.Errorf("meta list has %d entries, limit %d", len(m.Metas), MaxMetas)
+	}
+	for i := range m.Metas {
+		if err := checkID(fmt.Sprintf("metas[%d].node", i), string(m.Metas[i].Node)); err != nil {
+			return err
+		}
+		if m.Metas[i].Node == "" {
+			return fmt.Errorf("metas[%d] has an empty node ID", i)
+		}
+		if err := checkID(fmt.Sprintf("metas[%d].origin", i), m.Metas[i].Origin); err != nil {
+			return err
+		}
+	}
+	if len(m.Deltas) > MaxDeltas {
+		return fmt.Errorf("delta list has %d entries, limit %d", len(m.Deltas), MaxDeltas)
+	}
+	for i := range m.Deltas {
+		if err := checkDelta(i, &m.Deltas[i]); err != nil {
+			return err
+		}
+	}
+	if len(m.Nodes) > MaxPullNodes {
+		return fmt.Errorf("node list has %d entries, limit %d", len(m.Nodes), MaxPullNodes)
+	}
+	for i, n := range m.Nodes {
+		if err := checkID(fmt.Sprintf("nodes[%d]", i), n); err != nil {
+			return err
+		}
+		if n == "" {
+			return fmt.Errorf("nodes[%d] is empty", i)
+		}
+	}
+	if m.TTL < 0 || m.TTL > MaxTTL {
+		return fmt.Errorf("ttl %d outside [0, %d]", m.TTL, MaxTTL)
+	}
+	return nil
+}
+
+// checkDelta bounds one carried node entry.
+func checkDelta(i int, d *crp.NodeDelta) error {
+	if err := checkID(fmt.Sprintf("deltas[%d].node", i), string(d.Node)); err != nil {
+		return err
+	}
+	if d.Node == "" {
+		return fmt.Errorf("deltas[%d] has an empty node ID", i)
+	}
+	if err := checkID(fmt.Sprintf("deltas[%d].origin", i), d.Origin); err != nil {
+		return err
+	}
+	if len(d.Probes) > MaxProbesPerDelta {
+		return fmt.Errorf("deltas[%d] has %d probes, limit %d", i, len(d.Probes), MaxProbesPerDelta)
+	}
+	for j := range d.Probes {
+		if len(d.Probes[j].Replicas) > MaxReplicasPerProbe {
+			return fmt.Errorf("deltas[%d].probes[%d] has %d replicas, limit %d",
+				i, j, len(d.Probes[j].Replicas), MaxReplicasPerProbe)
+		}
+		for k, r := range d.Probes[j].Replicas {
+			if err := checkID(fmt.Sprintf("deltas[%d].probes[%d].replicas[%d]", i, j, k), string(r)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkID bounds one identity string: length-capped valid UTF-8 with no NULs
+// (IDs end up as store keys, metric names and log fields). Mirrors crpdaemon's
+// checkID; duplicated because importing crpdaemon here would cycle once the
+// daemon grows peering ops.
+func checkID(field, v string) error {
+	if len(v) > MaxIDBytes {
+		return fmt.Errorf("%s is %d bytes, limit %d", field, len(v), MaxIDBytes)
+	}
+	if !utf8.ValidString(v) {
+		return fmt.Errorf("%s is not valid UTF-8", field)
+	}
+	for i := 0; i < len(v); i++ {
+		if v[i] == 0 {
+			return fmt.Errorf("%s contains a NUL byte", field)
+		}
+	}
+	return nil
+}

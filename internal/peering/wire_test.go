@@ -1,0 +1,126 @@
+package peering
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/crp"
+	"repro/internal/obs"
+)
+
+func TestDecodePeerMsgBounds(t *testing.T) {
+	longID := strings.Repeat("x", MaxIDBytes+1)
+	manyNodes := `["` + strings.Repeat(`n","`, MaxPullNodes) + `n"]`
+	cases := []struct {
+		name    string
+		raw     string
+		wantErr string
+	}{
+		{"valid join", `{"type":"join","from":"d1","addr":"127.0.0.1:9"}`, ""},
+		{"valid digest", `{"type":"digest","from":"d1","shardCount":2,"digests":[1,2]}`, ""},
+		{"valid delta", `{"type":"delta","from":"d1","ttl":3,"deltas":[{"node":"n1","version":1,"probes":[{"at":"2026-01-01T00:00:00Z","replicas":["r1"]}]}]}`, ""},
+		{"valid pull", `{"type":"pull","from":"d1","nodes":["n1","n2"]}`, ""},
+		{"empty payload", ``, "bad message"},
+		{"truncated json", `{"type":"del`, "bad message"},
+		{"not an object", `[1,2]`, "bad message"},
+		{"unknown type", `{"type":"evict","from":"d1"}`, "unknown message type"},
+		{"missing type", `{"from":"d1"}`, "unknown message type"},
+		{"missing from", `{"type":"digest"}`, "from is required"},
+		{"oversized payload", `{"type":"` + strings.Repeat("a", MaxMsgSize) + `"}`, "message too large"},
+		{"oversized from", `{"type":"join","from":"` + longID + `"}`, "from is"},
+		{"oversized addr", `{"type":"join","from":"d1","addr":"` + longID + `"}`, "addr is"},
+		{"nul in from", `{"type":"join","from":"a\u0000b"}`, "NUL"},
+		{"negative shard count", `{"type":"digest","from":"d1","shardCount":-1}`, "shardCount -1"},
+		{"huge shard count", `{"type":"digest","from":"d1","shardCount":5000}`, "shardCount 5000"},
+		{"negative shard index", `{"type":"diff","from":"d1","shards":[-1]}`, "shards[0]"},
+		{"huge shard index", `{"type":"diff","from":"d1","shards":[4096]}`, "shards[0]"},
+		{"empty meta node", `{"type":"diff","from":"d1","metas":[{"node":"","version":1}]}`, "empty node"},
+		{"oversized meta node", `{"type":"diff","from":"d1","metas":[{"node":"` + longID + `","version":1}]}`, "metas[0].node"},
+		{"empty delta node", `{"type":"delta","from":"d1","deltas":[{"node":"","version":1}]}`, "empty node"},
+		{"oversized delta origin", `{"type":"delta","from":"d1","deltas":[{"node":"n","origin":"` + longID + `","version":1}]}`, "deltas[0].origin"},
+		{"too many pull nodes", `{"type":"pull","from":"d1","nodes":` + manyNodes + `}`, "node list"},
+		{"empty pull node", `{"type":"pull","from":"d1","nodes":[""]}`, "nodes[0] is empty"},
+		{"negative ttl", `{"type":"delta","from":"d1","ttl":-1}`, "ttl -1"},
+		{"huge ttl", `{"type":"delta","from":"d1","ttl":64}`, "ttl 64"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := decodePeerMsg([]byte(tc.raw))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("decodePeerMsg(%q) = %v, want ok", truncateRaw(tc.raw), err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("decodePeerMsg(%q) accepted, want error containing %q", truncateRaw(tc.raw), tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func truncateRaw(s string) string {
+	if len(s) > 120 {
+		return s[:120] + "..."
+	}
+	return s
+}
+
+// FuzzDecodePeerMsg asserts the gossip decoder never panics and that every
+// accepted message also survives the full datagram handler — the same
+// discipline FuzzDecodeRequest enforces on the crpd query path.
+func FuzzDecodePeerMsg(f *testing.F) {
+	seeds := []string{
+		`{"type":"join","from":"d1","addr":"127.0.0.1:9000"}`,
+		`{"type":"join-ack","from":"d2","addr":"127.0.0.1:9001"}`,
+		`{"type":"digest","from":"d1","shardCount":4,"digests":[1,2,3,4]}`,
+		`{"type":"diff","from":"d2","shards":[0,3],"metas":[{"node":"n1","origin":"d1","version":2}]}`,
+		`{"type":"delta","from":"d1","ttl":3,"deltas":[{"node":"n1","origin":"d1","version":1,"probes":[{"at":"2026-01-01T00:00:00Z","replicas":["r1","r2"]}]}]}`,
+		`{"type":"delta","from":"d1","ttl":1,"deltas":[{"node":"n2","origin":"d1","version":5,"deleted":true,"deletedAt":"2026-01-01T00:00:00Z"}]}`,
+		`{"type":"pull","from":"d2","nodes":["n1","n2"]}`,
+		`{"type":"digest","from":"d1","shardCount":-3}`,
+		`{"type":"evict","from":"d1"}`,
+		`{"type":`,
+		``,
+		`[]`,
+		`{"type":"join","from":"\u0000"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	mesh := NewMemMesh()
+	svc := crp.NewServiceWithStore(crp.StoreConfig{Shards: 4})
+	p, err := New(Config{
+		Self: "fuzz-self", Addr: "fuzz-self", Service: svc,
+		Registry: obs.NewRegistry(), Resolve: mesh.Resolve, Seed: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	p.Attach(mesh.Conn("fuzz-self"))
+	if err := p.AddPeer("fuzz-peer", "fuzz-peer"); err != nil {
+		f.Fatal(err)
+	}
+	if err := svc.Observe("seed-node", time.Unix(0, 0), "r1", "r2"); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := decodePeerMsg(raw)
+		if err == nil {
+			if !validTypes[m.Type] || len(m.Digests) > MaxShardCount ||
+				len(m.Metas) > MaxMetas || len(m.Deltas) > MaxDeltas ||
+				len(m.Nodes) > MaxPullNodes || m.TTL < 0 || m.TTL > MaxTTL {
+				t.Fatalf("decoder accepted out-of-bounds message: %+v", m)
+			}
+		}
+		// Decoded or not, the handler must absorb the datagram without
+		// panicking (bad messages only bump a counter).
+		p.HandleDatagram(raw, memAddr("fuzz-peer"))
+	})
+}
