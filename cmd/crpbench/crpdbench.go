@@ -21,6 +21,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"testing"
 	"time"
 
 	"repro/crp"
@@ -49,18 +50,42 @@ type crpdPhase struct {
 
 // crpdReport is the BENCH_crpd.json payload.
 type crpdReport struct {
-	Meta              benchMeta    `json:"meta"`
-	Nodes             int          `json:"nodes"`
-	CheapClients      int          `json:"cheap_clients"`
-	RequestsPerClient int          `json:"requests_per_client"`
-	HeavyClients      int          `json:"heavy_clients"`
-	Baseline          crpdPhase    `json:"baseline"`
-	Contended         crpdPhase    `json:"contended"`
-	HeavyRequests     int          `json:"heavy_requests"`
-	HeavyMeanMillis   float64      `json:"heavy_mean_ms"`
-	P99Ratio          float64      `json:"p99_ratio"`
-	HandlerP99Ratio   float64      `json:"handler_p99_ratio"`
-	Stats             obs.Snapshot `json:"stats"`
+	Meta              benchMeta     `json:"meta"`
+	Nodes             int           `json:"nodes"`
+	CheapClients      int           `json:"cheap_clients"`
+	RequestsPerClient int           `json:"requests_per_client"`
+	HeavyClients      int           `json:"heavy_clients"`
+	Baseline          crpdPhase     `json:"baseline"`
+	Contended         crpdPhase     `json:"contended"`
+	HeavyRequests     int           `json:"heavy_requests"`
+	HeavyMeanMillis   float64       `json:"heavy_mean_ms"`
+	P99Ratio          float64       `json:"p99_ratio"`
+	HandlerP99Ratio   float64       `json:"handler_p99_ratio"`
+	CodecComparison   []codecResult `json:"codec_comparison"`
+	Stats             obs.Snapshot  `json:"stats"`
+}
+
+// codecResult is one codec's measurements in the JSON-vs-binary comparison:
+// single-query round trips, batched round trips (one datagram carrying
+// BatchSize queries), representative wire sizes, and the allocation cost of
+// decoding one request and one reply. The alloc comparison is the hard gate
+// (binary must allocate strictly less than JSON per message); throughput
+// and latency are reported for the record but not gated, since loopback
+// round-trip figures on a shared host are too noisy to fail a build on.
+type codecResult struct {
+	Codec              string  `json:"codec"`
+	Requests           int     `json:"requests"`
+	PerSecond          float64 `json:"requests_per_sec"`
+	P50Micros          float64 `json:"p50_us"`
+	P99Micros          float64 `json:"p99_us"`
+	Batches            int     `json:"batches"`
+	BatchSize          int     `json:"batch_size"`
+	BatchQueriesPerSec float64 `json:"batch_queries_per_sec"`
+	BatchP99Micros     float64 `json:"batch_p99_us"`
+	RequestBytes       int     `json:"request_bytes"`
+	ReplyBytes         int     `json:"reply_bytes"`
+	ReqDecodeAllocs    float64 `json:"request_decode_allocs"`
+	ReplyDecodeAllocs  float64 `json:"reply_decode_allocs"`
 }
 
 // runCrpdBench seeds a service, starts the daemon on loopback UDP and runs
@@ -154,6 +179,11 @@ func runCrpdBench(quick bool, seed int64, out string) error {
 		heavyReqs += reqs.Load()
 		heavyNanos += nanos.Load()
 	}
+	codecResults, err := runCodecComparison(d.Addr(), nodes, quick, seed)
+	if err != nil {
+		return fmt.Errorf("codec comparison: %w", err)
+	}
+
 	baseline := summarizePhase(baseLats, baseElapsed)
 	contended := summarizePhase(contLats, contElapsed)
 	baseline.HandlerP50Micros = baseHandler.Quantile(0.50) * 1e6
@@ -175,6 +205,7 @@ func runCrpdBench(quick bool, seed int64, out string) error {
 		Baseline:          baseline,
 		Contended:         contended,
 		HeavyRequests:     int(heavyReqs),
+		CodecComparison:   codecResults,
 	}
 	if heavyReqs > 0 {
 		report.HeavyMeanMillis = float64(heavyNanos) / float64(heavyReqs) / 1e6
@@ -204,6 +235,14 @@ func runCrpdBench(quick bool, seed int64, out string) error {
 		baseline.HandlerP99Micros, contended.HandlerP99Micros, report.HandlerP99Ratio)
 	fmt.Printf("cheap-op round-trip p99 ratio: %.2fx (includes host-level time slicing at GOMAXPROCS=%d)\n\n",
 		report.P99Ratio, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-8s %10s %9s %9s %12s %11s %9s %9s %11s %11s\n",
+		"codec", "req/s", "p50_us", "p99_us", "batch-q/s", "batch-p99", "req-B", "reply-B", "dec-allocs", "rdec-allocs")
+	for _, cr := range codecResults {
+		fmt.Printf("%-8s %10.0f %9.0f %9.0f %12.0f %11.0f %9d %9d %11.1f %11.1f\n",
+			cr.Codec, cr.PerSecond, cr.P50Micros, cr.P99Micros, cr.BatchQueriesPerSec,
+			cr.BatchP99Micros, cr.RequestBytes, cr.ReplyBytes, cr.ReqDecodeAllocs, cr.ReplyDecodeAllocs)
+	}
+	fmt.Println()
 	fmt.Print(renderObsSnapshot("crpd bench", report.Stats))
 	return writeReport(out, report)
 }
@@ -519,4 +558,229 @@ func fmtSeconds(s float64) string {
 func dumpObs(label string) {
 	fmt.Print(renderObsSnapshot(label, obs.Default().Snapshot()))
 	fmt.Println()
+}
+
+// codecBatchSize is how many cheap queries one batched datagram carries in
+// the codec comparison.
+const codecBatchSize = 8
+
+// runCodecComparison measures the JSON and binary codecs head to head
+// against the live daemon: single-query round trips, batched round trips,
+// representative wire sizes, and per-message decode allocations. Segments
+// alternate between codecs so host-wide drift lands on both symmetrically.
+// It fails if binary decoding does not allocate strictly less than JSON —
+// that is the codec's reason to exist — and reports everything else.
+func runCodecComparison(addr net.Addr, nodes []string, quick bool, seed int64) ([]codecResult, error) {
+	clients, perSegment, segments := 4, 100, 5
+	batchesPerSegment := 25
+	if quick {
+		perSegment, segments = 60, 3
+		batchesPerSegment = 15
+	}
+
+	type accum struct {
+		lats, batchLats []time.Duration
+		elapsed         time.Duration
+		batchElapsed    time.Duration
+	}
+	acc := map[bool]*accum{false: {}, true: {}}
+	for seg := 0; seg < segments; seg++ {
+		for _, bin := range []bool{false, true} {
+			a := acc[bin]
+			lats, elapsed, err := runCodecPhase(addr, nodes, clients, perSegment, seed+int64(seg)*17, bin, 0)
+			if err != nil {
+				return nil, err
+			}
+			a.lats = append(a.lats, lats...)
+			a.elapsed += elapsed
+			lats, elapsed, err = runCodecPhase(addr, nodes, clients, batchesPerSegment, seed+int64(seg)*17+3, bin, codecBatchSize)
+			if err != nil {
+				return nil, err
+			}
+			a.batchLats = append(a.batchLats, lats...)
+			a.batchElapsed += elapsed
+		}
+	}
+
+	var out []codecResult
+	for _, bin := range []bool{false, true} {
+		a := acc[bin]
+		phase := summarizePhase(a.lats, a.elapsed)
+		batch := summarizePhase(a.batchLats, a.batchElapsed)
+		name := "json"
+		if bin {
+			name = "binary"
+		}
+		reqBytes, replyBytes, reqAllocs, replyAllocs, err := measureCodecCosts(nodes, bin)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, codecResult{
+			Codec:              name,
+			Requests:           phase.Requests,
+			PerSecond:          phase.PerSecond,
+			P50Micros:          phase.P50Micros,
+			P99Micros:          phase.P99Micros,
+			Batches:            batch.Requests,
+			BatchSize:          codecBatchSize,
+			BatchQueriesPerSec: batch.PerSecond * codecBatchSize,
+			BatchP99Micros:     batch.P99Micros,
+			RequestBytes:       reqBytes,
+			ReplyBytes:         replyBytes,
+			ReqDecodeAllocs:    reqAllocs,
+			ReplyDecodeAllocs:  replyAllocs,
+		})
+	}
+
+	jsonRes, binRes := out[0], out[1]
+	if binRes.ReqDecodeAllocs >= jsonRes.ReqDecodeAllocs {
+		return nil, fmt.Errorf("binary request decode allocates %.1f/msg, JSON %.1f/msg — binary must allocate strictly less",
+			binRes.ReqDecodeAllocs, jsonRes.ReqDecodeAllocs)
+	}
+	if binRes.ReplyDecodeAllocs >= jsonRes.ReplyDecodeAllocs {
+		return nil, fmt.Errorf("binary reply decode allocates %.1f/msg, JSON %.1f/msg — binary must allocate strictly less",
+			binRes.ReplyDecodeAllocs, jsonRes.ReplyDecodeAllocs)
+	}
+	if binRes.RequestBytes >= jsonRes.RequestBytes {
+		return nil, fmt.Errorf("binary request is %dB, JSON %dB — binary must be smaller",
+			binRes.RequestBytes, jsonRes.RequestBytes)
+	}
+	return out, nil
+}
+
+// runCodecPhase mirrors runCheapPhase for one codec: batchSize 0 sends
+// single queries, otherwise each request is a batch of batchSize queries.
+func runCodecPhase(addr net.Addr, nodes []string, clients, perClient int, seed int64, bin bool, batchSize int) ([]time.Duration, time.Duration, error) {
+	var wg sync.WaitGroup
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats[c], errs[c] = codecClientLoop(addr, nodes, perClient, seed+int64(c)*104729, bin, batchSize)
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	all := make([]time.Duration, 0, clients*perClient)
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			return nil, 0, fmt.Errorf("codec client %d: %w", c, errs[c])
+		}
+		all = append(all, lats[c]...)
+	}
+	return all, elapsed, nil
+}
+
+// codecQuery builds one cheap query, alternating similarity and closest.
+func codecQuery(rng *rand.Rand, nodes []string, i int) crpdaemon.Request {
+	if i%2 == 0 {
+		return crpdaemon.Request{
+			Op: "similarity",
+			A:  nodes[rng.Intn(len(nodes))],
+			B:  nodes[rng.Intn(len(nodes))],
+		}
+	}
+	return crpdaemon.Request{
+		Op:     "closest",
+		Client: nodes[rng.Intn(len(nodes))],
+		K:      3,
+	}
+}
+
+func codecClientLoop(addr net.Addr, nodes []string, requests int, seed int64, bin bool, batchSize int) ([]time.Duration, error) {
+	rng := rand.New(rand.NewSource(seed))
+	conn, err := net.Dial("udp", addr.String())
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	buf := make([]byte, 64*1024)
+	lats := make([]time.Duration, 0, requests)
+	for i := 0; i < requests; i++ {
+		var req crpdaemon.Request
+		if batchSize > 0 {
+			req = crpdaemon.Request{Op: "batch", Batch: make([]crpdaemon.Request, batchSize)}
+			for j := range req.Batch {
+				req.Batch[j] = codecQuery(rng, nodes, j)
+			}
+		} else {
+			req = codecQuery(rng, nodes, i)
+		}
+		wire, err := crpdaemon.EncodeRequest(&req, bin)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := conn.Write(wire); err != nil {
+			return nil, err
+		}
+		if err := conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+			return nil, err
+		}
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		lats = append(lats, time.Since(start))
+		resp, gotBin, err := crpdaemon.DecodeResponse(buf[:n])
+		if err != nil {
+			return nil, fmt.Errorf("bad reply: %w", err)
+		}
+		if gotBin != bin {
+			return nil, fmt.Errorf("sent bin=%v but reply came back bin=%v", bin, gotBin)
+		}
+		if batchSize > 0 {
+			if !resp.OK || len(resp.Batch) != batchSize {
+				return nil, fmt.Errorf("batch reply = ok=%v subs=%d: %s", resp.OK, len(resp.Batch), resp.Error)
+			}
+			for j, sub := range resp.Batch {
+				if !sub.OK {
+					return nil, fmt.Errorf("batch[%d]: daemon error: %s", j, sub.Error)
+				}
+			}
+		} else if !resp.OK {
+			return nil, fmt.Errorf("daemon error: %s", resp.Error)
+		}
+	}
+	return lats, nil
+}
+
+// measureCodecCosts reports the representative wire sizes and the decode
+// allocation cost per message for one codec, using the same similarity
+// query and a synthesized closest reply. Both decoders are warmed first so
+// encoding/json's one-time type caches don't bias the JSON figure.
+func measureCodecCosts(nodes []string, bin bool) (reqBytes, replyBytes int, reqAllocs, replyAllocs float64, err error) {
+	req := crpdaemon.Request{Op: "similarity", A: nodes[0], B: nodes[1%len(nodes)]}
+	reqWire, err := crpdaemon.EncodeRequest(&req, bin)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	sim := 0.5
+	resp := crpdaemon.Response{OK: true, Ranked: []crpdaemon.RankedNode{
+		{Node: nodes[0], Similarity: 0.9},
+		{Node: nodes[1%len(nodes)], Similarity: 0.7},
+		{Node: nodes[2%len(nodes)], Similarity: 0.5},
+	}, Similarity: &sim}
+	replyWire := crpdaemon.EncodeResponseWire(&resp, bin)
+
+	if _, _, err := crpdaemon.DecodeRequest(reqWire); err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("decode warmup: %w", err)
+	}
+	if _, _, err := crpdaemon.DecodeResponse(replyWire); err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("reply decode warmup: %w", err)
+	}
+	reqAllocs = testing.AllocsPerRun(512, func() {
+		if _, _, err := crpdaemon.DecodeRequest(reqWire); err != nil {
+			panic(err)
+		}
+	})
+	replyAllocs = testing.AllocsPerRun(512, func() {
+		if _, _, err := crpdaemon.DecodeResponse(replyWire); err != nil {
+			panic(err)
+		}
+	})
+	return len(reqWire), len(replyWire), reqAllocs, replyAllocs, nil
 }

@@ -1,0 +1,517 @@
+package crpdaemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/binwire"
+	"repro/internal/obs"
+	"repro/internal/peering"
+)
+
+// Compact binary codec for the crpd query protocol. One datagram is:
+//
+//	byte 0  binMagic (0xCB — never a valid JSON first byte, so the first
+//	        byte routes the codec; distinct from the gossip plane's magic)
+//	byte 1  binVersion
+//	byte 2  frame kind: kindReq / kindResp for a single message,
+//	        kindBatchReq / kindBatchResp for a uvarint-counted batch of
+//	        bodies (1..MaxBatch; batches don't nest)
+//	then the request or response body/bodies.
+//
+// A request body is: opcode u8, flags u8 (bit0 threshold present, bit1
+// candidates present — a nil candidates list means "rank against every
+// known node", so presence must survive the wire), node, a, b, client,
+// addr strings, replicas (count + strings), [candidates (count +
+// strings)], k uvarint, n uvarint, [threshold f64].
+//
+// A response body is: flags u8 (presence bits below), error string,
+// [similarity f64], [ratioMap: count + sorted (key, f64) pairs — sorted so
+// identical responses are byte-identical], [nodes: count + strings],
+// [ranked: count + (node, similarity) pairs], [stats JSON blob], [peering
+// JSON blob]. The stats and peering payloads are introspection documents —
+// nested, schema-churning, and far off the hot path — so they ride as
+// length-prefixed JSON rather than getting a parallel binary schema.
+const (
+	binMagic      = 0xCB
+	binVersion    = 1
+	kindReq       = 0x01
+	kindResp      = 0x02
+	kindBatchReq  = 0x03
+	kindBatchResp = 0x04
+
+	// maxErrBytes bounds a decoded error string; the daemon's own errors are
+	// short format strings.
+	maxErrBytes = 4096
+	// maxBlobBytes bounds the embedded stats/peering JSON documents. A reply
+	// can never legally exceed MaxReplySize, so neither can a blob in it.
+	maxBlobBytes = MaxReplySize
+)
+
+// Response flag bits.
+const (
+	respOK = 1 << iota
+	respTimedOut
+	respHasSimilarity
+	respHasRatioMap
+	respHasNodes
+	respHasRanked
+	respHasStats
+	respHasPeering
+)
+
+// binOpCodes maps Request.Op to its wire opcode ("batch" is a frame kind,
+// not an opcode); binOpNames is the inverse.
+var binOpCodes = map[string]byte{
+	"observe": 0, "ratio_map": 1, "similarity": 2, "closest": 3,
+	"nodes": 4, "stats": 5, "same_cluster": 6, "distinct_clusters": 7,
+	"peer-join": 8, "peer-status": 9,
+}
+
+var binOpNames = func() map[byte]string {
+	m := make(map[byte]string, len(binOpCodes))
+	for name, code := range binOpCodes {
+		m[code] = name
+	}
+	return m
+}()
+
+// DecodeRequest parses and bounds-checks one wire request in either codec,
+// routed by the first byte. It is the same path the daemon runs on every
+// datagram, exported so benches and tools can measure and exercise it.
+func DecodeRequest(raw []byte) (Request, bool, error) {
+	return decodeRequest(raw)
+}
+
+// EncodeRequest marshals one request in the chosen codec, validating it
+// first so anything encoded is also decodable. Clients (and the bench) use
+// this; the daemon only decodes requests.
+func EncodeRequest(req *Request, bin bool) ([]byte, error) {
+	if err := checkRequest(req); err != nil {
+		return nil, err
+	}
+	if !bin {
+		return json.Marshal(req)
+	}
+	var e binwire.Enc
+	e.U8(binMagic)
+	e.U8(binVersion)
+	if req.Op == "batch" {
+		e.U8(kindBatchReq)
+		e.Uvarint(uint64(len(req.Batch)))
+		for i := range req.Batch {
+			if err := encodeRequestBody(&e, &req.Batch[i]); err != nil {
+				return nil, fmt.Errorf("batch[%d]: %v", i, err)
+			}
+		}
+	} else {
+		e.U8(kindReq)
+		if err := encodeRequestBody(&e, req); err != nil {
+			return nil, err
+		}
+	}
+	return append([]byte(nil), e.Bytes()...), nil
+}
+
+func encodeRequestBody(e *binwire.Enc, req *Request) error {
+	code, ok := binOpCodes[req.Op]
+	if !ok {
+		return fmt.Errorf("unknown op %q", req.Op)
+	}
+	e.U8(code)
+	var flags byte
+	if req.Threshold != nil {
+		flags |= 1
+	}
+	if req.Candidates != nil {
+		flags |= 2
+	}
+	e.U8(flags)
+	e.String(req.Node)
+	e.String(req.A)
+	e.String(req.B)
+	e.String(req.Client)
+	e.String(req.Addr)
+	e.Uvarint(uint64(len(req.Replicas)))
+	for _, r := range req.Replicas {
+		e.String(r)
+	}
+	if req.Candidates != nil {
+		e.Uvarint(uint64(len(req.Candidates)))
+		for _, c := range req.Candidates {
+			e.String(c)
+		}
+	}
+	e.Uvarint(uint64(req.K))
+	e.Uvarint(uint64(req.N))
+	if req.Threshold != nil {
+		e.F64(*req.Threshold)
+	}
+	return nil
+}
+
+// decodeBinaryRequest parses a binary-codec request datagram. Structural
+// bounds live here; the caller runs checkRequest on the result, the same
+// semantic validation the JSON path gets.
+func decodeBinaryRequest(raw []byte) (Request, error) {
+	var req Request
+	d := binwire.NewDec(raw)
+	if _, err := d.U8(); err != nil { // magic, already sniffed by the caller
+		return req, fmt.Errorf("bad request: %v", err)
+	}
+	ver, err := d.U8()
+	if err != nil {
+		return req, fmt.Errorf("bad request: %v", err)
+	}
+	if ver != binVersion {
+		return req, fmt.Errorf("unsupported binary version %d", ver)
+	}
+	kind, err := d.U8()
+	if err != nil {
+		return req, fmt.Errorf("bad request: %v", err)
+	}
+	switch kind {
+	case kindReq:
+		if err := decodeRequestBody(d, &req); err != nil {
+			return req, err
+		}
+	case kindBatchReq:
+		n, err := d.Count(MaxBatch, 2)
+		if err != nil {
+			return req, fmt.Errorf("batch: %v", err)
+		}
+		if n == 0 {
+			return req, fmt.Errorf("batch request carries no sub-requests")
+		}
+		req.Op = "batch"
+		req.Batch = make([]Request, n)
+		for i := range req.Batch {
+			if err := decodeRequestBody(d, &req.Batch[i]); err != nil {
+				return req, fmt.Errorf("batch[%d]: %v", i, err)
+			}
+		}
+	default:
+		return req, fmt.Errorf("unexpected frame kind 0x%02x in a request", kind)
+	}
+	if err := d.Done(); err != nil {
+		return req, fmt.Errorf("bad request: %v", err)
+	}
+	return req, nil
+}
+
+func decodeRequestBody(d *binwire.Dec, req *Request) error {
+	code, err := d.U8()
+	if err != nil {
+		return err
+	}
+	op, ok := binOpNames[code]
+	if !ok {
+		return fmt.Errorf("unknown opcode %d", code)
+	}
+	req.Op = op
+	flags, err := d.U8()
+	if err != nil {
+		return err
+	}
+	if flags > 3 {
+		return fmt.Errorf("reserved request flags 0x%02x", flags)
+	}
+	for _, f := range []*string{&req.Node, &req.A, &req.B, &req.Client, &req.Addr} {
+		if *f, err = d.String(MaxIDBytes); err != nil {
+			return err
+		}
+	}
+	n, err := d.Count(MaxListEntries, 1)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		req.Replicas = make([]string, n)
+		for i := range req.Replicas {
+			if req.Replicas[i], err = d.String(MaxIDBytes); err != nil {
+				return err
+			}
+		}
+	}
+	if flags&2 != 0 {
+		if n, err = d.Count(MaxListEntries, 1); err != nil {
+			return err
+		}
+		// Present-but-empty stays a non-nil empty list: "no candidates",
+		// not "all nodes".
+		req.Candidates = make([]string, n)
+		for i := range req.Candidates {
+			if req.Candidates[i], err = d.String(MaxIDBytes); err != nil {
+				return err
+			}
+		}
+	}
+	k, err := d.Uvarint()
+	if err != nil || k > MaxK {
+		return fmt.Errorf("k: bad value")
+	}
+	req.K = int(k)
+	nn, err := d.Uvarint()
+	if err != nil || nn > MaxN {
+		return fmt.Errorf("n: bad value")
+	}
+	req.N = int(nn)
+	if flags&1 != 0 {
+		t, err := d.F64()
+		if err != nil {
+			return err
+		}
+		req.Threshold = &t
+	}
+	return nil
+}
+
+// encodeResponse marshals one response in the chosen codec. Encoding a
+// response cannot fail: the daemon built it, and unrepresentable shapes
+// don't occur (JSON falls back to a static error, matching marshal).
+func encodeResponse(resp *Response, bin bool) []byte {
+	if !bin {
+		return marshal(*resp)
+	}
+	var e binwire.Enc
+	e.U8(binMagic)
+	e.U8(binVersion)
+	if len(resp.Batch) > 0 {
+		e.U8(kindBatchResp)
+		e.Uvarint(uint64(len(resp.Batch)))
+		for i := range resp.Batch {
+			encodeResponseBody(&e, &resp.Batch[i])
+		}
+	} else {
+		e.U8(kindResp)
+		encodeResponseBody(&e, resp)
+	}
+	return append([]byte(nil), e.Bytes()...)
+}
+
+func encodeResponseBody(e *binwire.Enc, resp *Response) {
+	var flags byte
+	if resp.OK {
+		flags |= respOK
+	}
+	if resp.TimedOut {
+		flags |= respTimedOut
+	}
+	if resp.Similarity != nil {
+		flags |= respHasSimilarity
+	}
+	if resp.RatioMap != nil {
+		flags |= respHasRatioMap
+	}
+	if resp.Nodes != nil {
+		flags |= respHasNodes
+	}
+	if resp.Ranked != nil {
+		flags |= respHasRanked
+	}
+	if resp.Stats != nil {
+		flags |= respHasStats
+	}
+	if resp.Peering != nil {
+		flags |= respHasPeering
+	}
+	e.U8(flags)
+	e.String(resp.Error)
+	if resp.Similarity != nil {
+		e.F64(*resp.Similarity)
+	}
+	if resp.RatioMap != nil {
+		keys := make([]string, 0, len(resp.RatioMap))
+		for k := range resp.RatioMap {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.Uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			e.String(k)
+			e.F64(resp.RatioMap[k])
+		}
+	}
+	if resp.Nodes != nil {
+		e.Uvarint(uint64(len(resp.Nodes)))
+		for _, n := range resp.Nodes {
+			e.String(n)
+		}
+	}
+	if resp.Ranked != nil {
+		e.Uvarint(uint64(len(resp.Ranked)))
+		for _, r := range resp.Ranked {
+			e.String(r.Node)
+			e.F64(r.Similarity)
+		}
+	}
+	if resp.Stats != nil {
+		b, err := json.Marshal(resp.Stats)
+		if err != nil {
+			b = []byte("{}")
+		}
+		e.Blob(b)
+	}
+	if resp.Peering != nil {
+		b, err := json.Marshal(resp.Peering)
+		if err != nil {
+			b = []byte("{}")
+		}
+		e.Blob(b)
+	}
+}
+
+// EncodeResponseWire marshals one response in the chosen codec without the
+// daemon's reply-size policy — exported so benches and tools can produce
+// representative reply datagrams. The daemon's own replies go through
+// encodeBounded, which adds the oversize degradation on top of this.
+func EncodeResponseWire(resp *Response, bin bool) []byte {
+	return encodeResponse(resp, bin)
+}
+
+// DecodeResponse parses one reply in either codec, routed by the first
+// byte. Clients (and the bench) use this; the bin flag reports which codec
+// the server answered in.
+func DecodeResponse(raw []byte) (Response, bool, error) {
+	var resp Response
+	if len(raw) > 0 && raw[0] == binMagic {
+		resp, err := decodeBinaryResponse(raw)
+		return resp, true, err
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return resp, false, fmt.Errorf("bad response: %v", err)
+	}
+	return resp, false, nil
+}
+
+func decodeBinaryResponse(raw []byte) (Response, error) {
+	var resp Response
+	if len(raw) > MaxReplySize {
+		return resp, fmt.Errorf("response too large: %d bytes exceeds the %d-byte limit", len(raw), MaxReplySize)
+	}
+	d := binwire.NewDec(raw)
+	if _, err := d.U8(); err != nil {
+		return resp, fmt.Errorf("bad response: %v", err)
+	}
+	ver, err := d.U8()
+	if err != nil {
+		return resp, fmt.Errorf("bad response: %v", err)
+	}
+	if ver != binVersion {
+		return resp, fmt.Errorf("unsupported binary version %d", ver)
+	}
+	kind, err := d.U8()
+	if err != nil {
+		return resp, fmt.Errorf("bad response: %v", err)
+	}
+	switch kind {
+	case kindResp:
+		if err := decodeResponseBody(d, &resp); err != nil {
+			return resp, err
+		}
+	case kindBatchResp:
+		n, err := d.Count(MaxBatch, 2)
+		if err != nil {
+			return resp, fmt.Errorf("batch: %v", err)
+		}
+		resp.OK = true
+		resp.Batch = make([]Response, n)
+		for i := range resp.Batch {
+			if err := decodeResponseBody(d, &resp.Batch[i]); err != nil {
+				return resp, fmt.Errorf("batch[%d]: %v", i, err)
+			}
+		}
+	default:
+		return resp, fmt.Errorf("unexpected frame kind 0x%02x in a response", kind)
+	}
+	if err := d.Done(); err != nil {
+		return resp, fmt.Errorf("bad response: %v", err)
+	}
+	return resp, nil
+}
+
+func decodeResponseBody(d *binwire.Dec, resp *Response) error {
+	flags, err := d.U8()
+	if err != nil {
+		return err
+	}
+	resp.OK = flags&respOK != 0
+	resp.TimedOut = flags&respTimedOut != 0
+	if resp.Error, err = d.String(maxErrBytes); err != nil {
+		return err
+	}
+	if flags&respHasSimilarity != 0 {
+		v, err := d.F64()
+		if err != nil {
+			return err
+		}
+		resp.Similarity = &v
+	}
+	if flags&respHasRatioMap != 0 {
+		n, err := d.Count(MaxListEntries, 9)
+		if err != nil {
+			return err
+		}
+		resp.RatioMap = make(map[string]float64, n)
+		for i := 0; i < n; i++ {
+			k, err := d.String(MaxIDBytes)
+			if err != nil {
+				return err
+			}
+			v, err := d.F64()
+			if err != nil {
+				return err
+			}
+			resp.RatioMap[k] = v
+		}
+	}
+	if flags&respHasNodes != 0 {
+		n, err := d.Count(MaxListEntries, 1)
+		if err != nil {
+			return err
+		}
+		resp.Nodes = make([]string, n)
+		for i := range resp.Nodes {
+			if resp.Nodes[i], err = d.String(MaxIDBytes); err != nil {
+				return err
+			}
+		}
+	}
+	if flags&respHasRanked != 0 {
+		n, err := d.Count(MaxListEntries, 9)
+		if err != nil {
+			return err
+		}
+		resp.Ranked = make([]RankedNode, n)
+		for i := range resp.Ranked {
+			if resp.Ranked[i].Node, err = d.String(MaxIDBytes); err != nil {
+				return err
+			}
+			if resp.Ranked[i].Similarity, err = d.F64(); err != nil {
+				return err
+			}
+		}
+	}
+	if flags&respHasStats != 0 {
+		b, err := d.Blob(maxBlobBytes)
+		if err != nil {
+			return err
+		}
+		resp.Stats = new(obs.Snapshot)
+		if err := json.Unmarshal(b, resp.Stats); err != nil {
+			return fmt.Errorf("stats blob: %v", err)
+		}
+	}
+	if flags&respHasPeering != 0 {
+		b, err := d.Blob(maxBlobBytes)
+		if err != nil {
+			return err
+		}
+		resp.Peering = new(peering.StatusReport)
+		if err := json.Unmarshal(b, resp.Peering); err != nil {
+			return fmt.Errorf("peering blob: %v", err)
+		}
+	}
+	return nil
+}

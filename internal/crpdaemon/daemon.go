@@ -34,13 +34,19 @@ import (
 // Request is the union of all operation payloads, one JSON object per UDP
 // datagram.
 type Request struct {
-	Op         string   `json:"op"`
-	Node       string   `json:"node,omitempty"`
-	Replicas   []string `json:"replicas,omitempty"`
-	A          string   `json:"a,omitempty"`
-	B          string   `json:"b,omitempty"`
-	Client     string   `json:"client,omitempty"`
-	Candidates []string `json:"candidates,omitempty"`
+	Op       string   `json:"op"`
+	Node     string   `json:"node,omitempty"`
+	Replicas []string `json:"replicas,omitempty"`
+	A        string   `json:"a,omitempty"`
+	B        string   `json:"b,omitempty"`
+	Client   string   `json:"client,omitempty"`
+	// Candidates must NOT be omitempty: an explicit empty list ("no
+	// candidates") and an absent field ("rank against every known node")
+	// are different closest queries, and omitempty would erase an empty
+	// non-nil list on the marshal side, silently turning it into the
+	// all-nodes query. nil still marshals as null, which decodes back to
+	// nil, so both states survive the wire.
+	Candidates []string `json:"candidates"`
 	K          int      `json:"k,omitempty"`
 	N          int      `json:"n,omitempty"`
 	// Threshold is a pointer so that an explicit 0 — a valid SMF boundary
@@ -49,6 +55,10 @@ type Request struct {
 	Threshold *float64 `json:"threshold,omitempty"`
 	// Addr is the gossip address of the peer to join (peer-join).
 	Addr string `json:"addr,omitempty"`
+	// Batch carries the sub-requests of op "batch": one datagram, N
+	// queries, one reply with N results in order. Sub-requests are
+	// individually bounded and cannot themselves be batches.
+	Batch []Request `json:"batch,omitempty"`
 }
 
 // Response is the generic reply envelope.
@@ -62,6 +72,8 @@ type Response struct {
 	Ranked     []RankedNode          `json:"ranked,omitempty"`
 	Stats      *obs.Snapshot         `json:"stats,omitempty"`
 	Peering    *peering.StatusReport `json:"peering,omitempty"`
+	// Batch carries the sub-responses of a batch request, in request order.
+	Batch []Response `json:"batch,omitempty"`
 }
 
 // RankedNode is one entry of a "closest" reply.
@@ -130,6 +142,8 @@ type task struct {
 	req      Request
 	from     net.Addr
 	deadline time.Time
+	// bin records the request's codec; the reply goes back the same way.
+	bin bool
 }
 
 // Daemon serves a crp.Service over a PacketConn. Create it with Serve and
@@ -154,16 +168,17 @@ type Daemon struct {
 	// heavy fan-out and gives the write-error counter a stable meaning.
 	writeMu sync.Mutex
 
-	inflight  *obs.Gauge
-	readErrs  *obs.Counter
-	writeErrs *obs.Counter
-	badReqs   *obs.Counter
-	rejected  *obs.Counter
-	timeouts  *obs.Counter
-	oversized *obs.Counter
-	reqCount  map[string]*obs.Counter
-	errCount  map[string]*obs.Counter
-	latency   map[string]*obs.Histogram
+	inflight     *obs.Gauge
+	readErrs     *obs.Counter
+	writeErrs    *obs.Counter
+	badReqs      *obs.Counter
+	oversizeReqs *obs.Counter
+	rejected     *obs.Counter
+	timeouts     *obs.Counter
+	oversized    *obs.Counter
+	reqCount     map[string]*obs.Counter
+	errCount     map[string]*obs.Counter
+	latency      map[string]*obs.Histogram
 }
 
 // ops is the full operation set; heavy ops run a full SMF clustering pass
@@ -179,6 +194,20 @@ var ops = map[string]bool{ // op -> heavy
 	"distinct_clusters": true,
 	"peer-join":         false,
 	"peer-status":       false,
+	// A batch runs as one unit; batchHeavy reclassifies it per datagram.
+	"batch": false,
+}
+
+// batchHeavy reports whether any sub-request routes to the heavy pool: one
+// clustering sub-query makes the whole datagram heavy, since the batch runs
+// as one unit and must not head-of-line-block the cheap pool.
+func batchHeavy(req *Request) bool {
+	for i := range req.Batch {
+		if ops[req.Batch[i].Op] {
+			return true
+		}
+	}
+	return false
 }
 
 // Serve starts answering datagrams arriving on pc. The daemon owns pc after
@@ -201,16 +230,17 @@ func Serve(pc net.PacketConn, svc *crp.Service, cfg Config) (*Daemon, error) {
 		heavyQ: make(chan task, cfg.QueueDepth),
 		closed: make(chan struct{}),
 
-		inflight:  cfg.Registry.Gauge("crpd.inflight"),
-		readErrs:  cfg.Registry.Counter("crpd.read_errors"),
-		writeErrs: cfg.Registry.Counter("crpd.write_errors"),
-		badReqs:   cfg.Registry.Counter("crpd.bad_requests"),
-		rejected:  cfg.Registry.Counter("crpd.rejected"),
-		timeouts:  cfg.Registry.Counter("crpd.timeouts"),
-		oversized: cfg.Registry.Counter("crpd.oversized_replies"),
-		reqCount:  make(map[string]*obs.Counter, len(ops)),
-		errCount:  make(map[string]*obs.Counter, len(ops)),
-		latency:   make(map[string]*obs.Histogram, len(ops)),
+		inflight:     cfg.Registry.Gauge("crpd.inflight"),
+		readErrs:     cfg.Registry.Counter("crpd.read_errors"),
+		writeErrs:    cfg.Registry.Counter("crpd.write_errors"),
+		badReqs:      cfg.Registry.Counter("crpd.bad_requests"),
+		oversizeReqs: cfg.Registry.Counter("crpd.oversized_requests"),
+		rejected:     cfg.Registry.Counter("crpd.rejected"),
+		timeouts:     cfg.Registry.Counter("crpd.timeouts"),
+		oversized:    cfg.Registry.Counter("crpd.oversized_replies"),
+		reqCount:     make(map[string]*obs.Counter, len(ops)),
+		errCount:     make(map[string]*obs.Counter, len(ops)),
+		latency:      make(map[string]*obs.Histogram, len(ops)),
 	}
 	for op := range ops {
 		d.reqCount[op] = cfg.Registry.Counter("crpd.requests." + op)
@@ -256,7 +286,11 @@ func (d *Daemon) readLoop() {
 	defer close(d.cheapQ)
 	defer close(d.heavyQ)
 
-	buf := make([]byte, 64*1024)
+	// One byte over the request bound: a datagram that fills a
+	// MaxRequestSize buffer exactly would be indistinguishable from a
+	// kernel-truncated larger one, so the extra byte makes oversize
+	// detectable and the loop rejects it without decoding truncated bytes.
+	buf := make([]byte, MaxRequestSize+1)
 	for {
 		n, from, err := d.pc.ReadFrom(buf)
 		if err != nil {
@@ -280,31 +314,41 @@ func (d *Daemon) readLoop() {
 			time.Sleep(time.Millisecond)
 			continue
 		}
+		if n > MaxRequestSize {
+			d.oversizeReqs.Inc()
+			bin := buf[0] == binMagic
+			d.reply(from, Response{Error: fmt.Sprintf(
+				"request too large: exceeds the %d-byte limit", MaxRequestSize)}, bin)
+			continue
+		}
 
-		req, err := decodeRequest(buf[:n])
+		req, bin, err := decodeRequest(buf[:n])
 		if err != nil {
 			d.badReqs.Inc()
-			d.reply(from, Response{Error: err.Error()})
+			d.reply(from, Response{Error: err.Error()}, bin)
 			continue
 		}
 		heavy, known := ops[req.Op]
 		if !known {
 			d.badReqs.Inc()
-			d.reply(from, Response{Error: fmt.Sprintf("unknown op %q", req.Op)})
+			d.reply(from, Response{Error: fmt.Sprintf("unknown op %q", req.Op)}, bin)
 			continue
+		}
+		if req.Op == "batch" {
+			heavy = batchHeavy(&req)
 		}
 
 		q := d.cheapQ
 		if heavy {
 			q = d.heavyQ
 		}
-		t := task{req: req, from: from, deadline: d.now().Add(d.cfg.Timeout)}
+		t := task{req: req, from: from, deadline: d.now().Add(d.cfg.Timeout), bin: bin}
 		select {
 		case q <- t:
 		default:
 			d.rejected.Inc()
 			d.errCount[req.Op].Inc()
-			d.reply(from, Response{Error: fmt.Sprintf("server busy: %s queue full", req.Op)})
+			d.reply(from, Response{Error: fmt.Sprintf("server busy: %s queue full", req.Op)}, bin)
 		}
 	}
 }
@@ -335,7 +379,7 @@ func (d *Daemon) process(t task) {
 		d.reply(t.from, Response{
 			Error:    fmt.Sprintf("deadline exceeded: %s queued longer than %v", op, d.cfg.Timeout),
 			TimedOut: true,
-		})
+		}, t.bin)
 		return
 	}
 
@@ -357,20 +401,14 @@ func (d *Daemon) process(t task) {
 			TimedOut: true,
 		}
 	}
-	d.reply(t.from, resp)
+	d.reply(t.from, resp, t.bin)
 }
 
-// reply marshals and sends one response, downgrading oversized replies to a
-// structured error and counting (not propagating) write failures: a failed
-// reply to one client must never take down the service.
-func (d *Daemon) reply(to net.Addr, resp Response) {
-	wire := marshal(resp)
-	if len(wire) > MaxReplySize {
-		d.oversized.Inc()
-		wire = marshal(Response{
-			Error: fmt.Sprintf("response too large: %d bytes exceeds the %d-byte UDP limit; narrow the query", len(wire), MaxReplySize),
-		})
-	}
+// reply encodes one response in the request's codec — bounded by
+// encodeBounded — and sends it, counting (not propagating) write failures:
+// a failed reply to one client must never take down the service.
+func (d *Daemon) reply(to net.Addr, resp Response, bin bool) {
+	wire := d.encodeBounded(resp, bin)
 	d.writeMu.Lock()
 	_, err := d.pc.WriteTo(wire, to)
 	d.writeMu.Unlock()
@@ -384,27 +422,61 @@ func (d *Daemon) reply(to net.Addr, resp Response) {
 	}
 }
 
-// Handle processes one raw request and returns the marshaled reply,
-// applying the same oversize policy as the wire path. It is the synchronous
-// core used by unit tests and by callers embedding the daemon in-process.
+// encodeBounded encodes resp in the chosen codec and enforces the reply
+// ceiling. A too-large batch reply degrades deterministically: the largest
+// encoded sub-response (lowest index on ties) is replaced with a structured
+// error stub until the envelope fits, so the remaining sub-results still
+// reach the client. A too-large single reply becomes the structured
+// oversize error, as before.
+func (d *Daemon) encodeBounded(resp Response, bin bool) []byte {
+	wire := encodeResponse(&resp, bin)
+	if len(wire) <= MaxReplySize {
+		return wire
+	}
+	d.oversized.Inc()
+	if len(resp.Batch) > 0 {
+		replaced := make([]bool, len(resp.Batch))
+		for {
+			largest, size := -1, 0
+			for i := range resp.Batch {
+				if replaced[i] {
+					continue
+				}
+				if n := len(encodeResponse(&resp.Batch[i], bin)); n > size {
+					largest, size = i, n
+				}
+			}
+			if largest < 0 {
+				break
+			}
+			resp.Batch[largest] = Response{Error: fmt.Sprintf(
+				"response too large: sub-response was %d bytes; narrow the query", size)}
+			replaced[largest] = true
+			if wire = encodeResponse(&resp, bin); len(wire) <= MaxReplySize {
+				return wire
+			}
+		}
+	}
+	return encodeResponse(&Response{
+		Error: fmt.Sprintf("response too large: %d bytes exceeds the %d-byte UDP limit; narrow the query", len(wire), MaxReplySize),
+	}, bin)
+}
+
+// Handle processes one raw request and returns the encoded reply in the
+// request's codec, applying the same oversize policy as the wire path. It
+// is the synchronous core used by unit tests and by callers embedding the
+// daemon in-process.
 func (d *Daemon) Handle(raw []byte) []byte {
-	req, err := decodeRequest(raw)
+	req, bin, err := decodeRequest(raw)
 	if err != nil {
 		d.badReqs.Inc()
-		return marshal(Response{Error: err.Error()})
+		return d.encodeBounded(Response{Error: err.Error()}, bin)
 	}
 	if _, known := ops[req.Op]; !known {
 		d.badReqs.Inc()
-		return marshal(Response{Error: fmt.Sprintf("unknown op %q", req.Op)})
+		return d.encodeBounded(Response{Error: fmt.Sprintf("unknown op %q", req.Op)}, bin)
 	}
-	wire := marshal(d.dispatch(req))
-	if len(wire) > MaxReplySize {
-		d.oversized.Inc()
-		wire = marshal(Response{
-			Error: fmt.Sprintf("response too large: %d bytes exceeds the %d-byte UDP limit; narrow the query", len(wire), MaxReplySize),
-		})
-	}
-	return wire
+	return d.encodeBounded(d.dispatch(req), bin)
 }
 
 func (d *Daemon) dispatch(req Request) Response {
@@ -417,6 +489,15 @@ func (d *Daemon) dispatch(req Request) Response {
 	}
 
 	switch req.Op {
+	case "batch":
+		// One datagram, N queries, N results in request order. The envelope
+		// is OK; each sub-response carries its own verdict.
+		out := make([]Response, len(req.Batch))
+		for i := range req.Batch {
+			out[i] = d.dispatch(req.Batch[i])
+		}
+		return Response{OK: true, Batch: out}
+
 	case "observe":
 		replicas := make([]crp.ReplicaID, len(req.Replicas))
 		for i, r := range req.Replicas {

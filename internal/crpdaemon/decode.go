@@ -11,11 +11,14 @@ import (
 // is bounded before the request reaches a worker: a hostile or corrupted
 // datagram must cost one structured error reply, not memory or CPU.
 const (
-	// MaxRequestSize bounds the raw datagram. It matches the read loop's
-	// buffer: anything larger was truncated on the socket anyway, and
-	// Handle (the in-process path, no kernel truncation) enforces it
-	// explicitly.
-	MaxRequestSize = 64 * 1024
+	// MaxRequestSize bounds the raw datagram at the IPv4 UDP payload ceiling
+	// (65535 - 8 UDP - 20 IP), symmetric with MaxReplySize. It used to be
+	// 64 KiB — a bound no UDP datagram can reach, so the 65508..65536 band
+	// was dead acceptance range; now the bound states exactly what the wire
+	// can carry. The read loop reads with a buffer one byte larger so a
+	// datagram exceeding the bound is detectable rather than silently
+	// kernel-truncated into the decoder.
+	MaxRequestSize = 65507
 	// MaxIDBytes bounds every identity field (node, replica, candidate).
 	// Identities are DNS names in practice, which cap at 255 octets.
 	MaxIDBytes = 255
@@ -24,27 +27,64 @@ const (
 	// MaxK bounds top-k requests; MaxN bounds the sweep width.
 	MaxK = 10000
 	MaxN = 1 << 20
+	// MaxBatch bounds the sub-requests of one batch datagram. Each
+	// sub-request is individually bounds-checked; batches don't nest.
+	MaxBatch = 64
 )
 
-// decodeRequest parses and bounds-checks one wire request. It is the single
-// decode path for both the socket loop and Handle, so the bounds hold on
-// every route into a worker.
-func decodeRequest(raw []byte) (Request, error) {
+// decodeRequest parses and bounds-checks one wire request in either codec,
+// routed by the first byte (binMagic means binary; JSON starts with '{').
+// It is the single decode path for both the socket loop and Handle, so the
+// bounds hold on every route into a worker. The returned bin flag reports
+// the request codec — replies go back the same way.
+func decodeRequest(raw []byte) (Request, bool, error) {
 	var req Request
 	if len(raw) > MaxRequestSize {
-		return req, fmt.Errorf("request too large: %d bytes exceeds the %d-byte limit", len(raw), MaxRequestSize)
+		return req, len(raw) > 0 && raw[0] == binMagic,
+			fmt.Errorf("request too large: %d bytes exceeds the %d-byte limit", len(raw), MaxRequestSize)
+	}
+	if len(raw) > 0 && raw[0] == binMagic {
+		req, err := decodeBinaryRequest(raw)
+		if err != nil {
+			return req, true, err
+		}
+		return req, true, checkRequest(&req)
 	}
 	if err := json.Unmarshal(raw, &req); err != nil {
-		return req, fmt.Errorf("bad request: %v", err)
+		return req, false, fmt.Errorf("bad request: %v", err)
 	}
-	if err := checkRequest(&req); err != nil {
-		return req, err
-	}
-	return req, nil
+	return req, false, checkRequest(&req)
 }
 
-// checkRequest validates the decoded fields against the wire bounds.
+// checkRequest validates the decoded fields against the wire bounds. A
+// batch request validates its envelope and then every sub-request; batches
+// cannot nest.
 func checkRequest(req *Request) error {
+	if req.Op == "batch" {
+		if len(req.Batch) == 0 {
+			return fmt.Errorf("batch request carries no sub-requests")
+		}
+		if len(req.Batch) > MaxBatch {
+			return fmt.Errorf("batch has %d sub-requests, limit %d", len(req.Batch), MaxBatch)
+		}
+		for i := range req.Batch {
+			if req.Batch[i].Op == "batch" {
+				return fmt.Errorf("batch[%d]: batches cannot nest", i)
+			}
+			if err := checkSingleRequest(&req.Batch[i]); err != nil {
+				return fmt.Errorf("batch[%d]: %v", i, err)
+			}
+		}
+		return nil
+	}
+	if len(req.Batch) > 0 {
+		return fmt.Errorf("op %q cannot carry sub-requests", req.Op)
+	}
+	return checkSingleRequest(req)
+}
+
+// checkSingleRequest validates one non-batch request's fields.
+func checkSingleRequest(req *Request) error {
 	for _, f := range []struct{ name, v string }{
 		{"op", req.Op}, {"node", req.Node}, {"a", req.A}, {"b", req.B},
 		{"client", req.Client}, {"addr", req.Addr},

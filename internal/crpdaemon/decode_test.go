@@ -37,7 +37,7 @@ func TestDecodeRequestBounds(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := decodeRequest([]byte(tc.raw))
+			_, _, err := decodeRequest([]byte(tc.raw))
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("decodeRequest(%q) = %v, want ok", truncate(tc.raw), err)
@@ -115,22 +115,25 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Cleanup(func() { d.Close() })
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
-		req, err := decodeRequest(raw)
+		req, bin, err := decodeRequest(raw)
 		if err != nil {
 			return
 		}
 		// Accepted requests must be within bounds...
 		if len(req.Node) > MaxIDBytes || len(req.Replicas) > MaxListEntries ||
 			len(req.Candidates) > MaxListEntries || req.K < 0 || req.K > MaxK ||
-			req.N < 0 || req.N > MaxN {
+			req.N < 0 || req.N > MaxN || len(req.Batch) > MaxBatch {
 			t.Fatalf("decoder accepted out-of-bounds request: %+v", req)
 		}
 		// ...and must survive the full handler without panicking, yielding
-		// a JSON reply.
+		// a decodable reply in the request's codec.
 		wire := d.Handle(raw)
-		var resp Response
-		if err := json.Unmarshal(wire, &resp); err != nil {
-			t.Fatalf("Handle reply is not JSON: %v (%q)", err, wire)
+		resp, respBin, err := DecodeResponse(wire)
+		if err != nil {
+			t.Fatalf("Handle reply undecodable: %v (%q)", err, wire)
+		}
+		if respBin != bin {
+			t.Fatalf("request codec bin=%v but reply codec bin=%v (%+v)", bin, respBin, resp)
 		}
 	})
 }

@@ -49,6 +49,11 @@ type GossipConfig struct {
 	Shards int
 	// Seed drives stream generation and each engine's fanout RNG.
 	Seed uint64
+	// Codec selects the wire codec for every engine: "" or "binary"
+	// negotiates the compact binary codec, "json" pins every engine to the
+	// JSON fallback, and "mixed" pins engine 0 to JSON while the rest
+	// negotiate binary — the rolling-upgrade topology.
+	Codec string
 	// Faults is applied to every gossip conn under the label "gossip".
 	// Leave empty for a clean run.
 	Faults faults.Scenario
@@ -183,7 +188,10 @@ func RunGossip(cfg GossipConfig) (*GossipOutcome, error) {
 	gm := &gossipMesh{
 		mesh: peering.NewMemMesh(),
 		now:  time.Unix(1_800_000_000, 0),
-		buf:  make([]byte, peering.MaxMsgSize),
+		// One byte beyond the bound, mirroring the real read loop: a
+		// maximum-size datagram must not be confused with a truncated
+		// larger one.
+		buf: make([]byte, peering.MaxMsgSize+1),
 	}
 	clock := func() time.Time { return gm.now }
 
@@ -192,6 +200,18 @@ func RunGossip(cfg GossipConfig) (*GossipOutcome, error) {
 		var pc net.PacketConn = gm.mesh.Conn(addr)
 		if plane != nil {
 			pc = plane.WrapPacketConn(pc, "gossip")
+		}
+		codec := ""
+		switch cfg.Codec {
+		case "", "binary":
+		case "json":
+			codec = "json"
+		case "mixed":
+			if i == 0 {
+				codec = "json"
+			}
+		default:
+			return nil, fmt.Errorf("experiment: unknown gossip codec %q", cfg.Codec)
 		}
 		svc := crp.NewServiceWithStore(crp.StoreConfig{Shards: cfg.Shards}, crp.WithWindow(cfg.Window))
 		eng, err := peering.New(peering.Config{
@@ -204,6 +224,7 @@ func RunGossip(cfg GossipConfig) (*GossipOutcome, error) {
 			Now:      clock,
 			Resolve:  gm.mesh.Resolve,
 			Registry: cfg.Registry,
+			Codec:    codec,
 		})
 		if err != nil {
 			return nil, err

@@ -28,7 +28,6 @@
 package peering
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -77,6 +76,14 @@ type Config struct {
 	Resolve func(string) (net.Addr, error)
 	// Registry receives the peering metrics. Default obs.Default().
 	Registry *obs.Registry
+	// Codec pins the engine's wire codec: "" or "binary" negotiates the
+	// compact binary codec with capable peers (JSON stays the bootstrap and
+	// fallback codec, so mixed-version meshes interoperate); "json" pins the
+	// engine to JSON — it never advertises or sends binary and treats
+	// inbound binary datagrams as undecodable, exactly like a daemon
+	// predating the binary codec. The mixed-codec mesh tests and the bench's
+	// codec dimension use this.
+	Codec string
 }
 
 // PeerInfo describes one known peer in a status report.
@@ -105,6 +112,9 @@ type StatsSnapshot struct {
 	ShapeMismatch  uint64 `json:"shapeMismatch"`
 	SendErrors     uint64 `json:"sendErrors"`
 	TombstonesGCed uint64 `json:"tombstonesGCed"`
+	OversizeMsgs   uint64 `json:"oversizeMsgs"`
+	BinMsgs        uint64 `json:"binMsgs"`
+	BinSent        uint64 `json:"binSent"`
 }
 
 // StatusReport is the peer-status op payload.
@@ -138,17 +148,23 @@ type peerState struct {
 	addr    net.Addr
 	lag     *obs.Gauge // peering.peer.<id>.lag
 	lagV    atomic.Int64
+	// bin is latched when the peer advertises CodecBinary (join/join-ack/
+	// digest) or sends any binary-decoded datagram; from then on this engine
+	// speaks binary to it. Never unlatched — codec support is a property of
+	// the peer's build, not of one message.
+	bin atomic.Bool
 }
 
 // Peering is one daemon's gossip engine. Attach a socket, add peers (or
 // Join), then either call Start for the background loop or drive Tick /
 // HandleDatagram directly (the deterministic harness does the latter).
 type Peering struct {
-	cfg     Config
-	svc     *crp.Service
-	now     func() time.Time
-	resolve func(string) (net.Addr, error)
-	reg     *obs.Registry
+	cfg      Config
+	svc      *crp.Service
+	now      func() time.Time
+	resolve  func(string) (net.Addr, error)
+	reg      *obs.Registry
+	jsonOnly bool
 
 	mu      sync.Mutex
 	pc      net.PacketConn
@@ -167,6 +183,7 @@ type Peering struct {
 	deltasStale, digestsSent        stat
 	digestBytes, pulls, convergence stat
 	shapeMismatch, sendErrors, gced stat
+	oversize, binMsgs, binSent      stat
 }
 
 // New builds a peering engine over cfg.Service and installs the service's
@@ -180,6 +197,17 @@ func New(cfg Config) (*Peering, error) {
 	}
 	if err := checkID("self", cfg.Self); err != nil {
 		return nil, fmt.Errorf("peering: %w", err)
+	}
+	if sc := cfg.Service.ShardCount(); sc > MaxShardCount {
+		// A digest message carries one word per shard; a wider store could
+		// never complete an anti-entropy round, so refuse it up front instead
+		// of silently livelocking (see the MaxShardCount sizing note).
+		return nil, fmt.Errorf("peering: store has %d shards, wire limit %d", sc, MaxShardCount)
+	}
+	switch cfg.Codec {
+	case "", "binary", "json":
+	default:
+		return nil, fmt.Errorf("peering: unknown codec %q", cfg.Codec)
 	}
 	if cfg.Fanout <= 0 {
 		cfg.Fanout = 2
@@ -202,6 +230,9 @@ func New(cfg Config) (*Peering, error) {
 	if cfg.MaxMetasPerMsg <= 0 {
 		cfg.MaxMetasPerMsg = 2048
 	}
+	if cfg.MaxMetasPerMsg > MaxMetas {
+		cfg.MaxMetasPerMsg = MaxMetas
+	}
 	if cfg.MaxPullPerMsg <= 0 {
 		cfg.MaxPullPerMsg = 512
 	}
@@ -218,15 +249,16 @@ func New(cfg Config) (*Peering, error) {
 		cfg.Registry = obs.Default()
 	}
 	p := &Peering{
-		cfg:     cfg,
-		svc:     cfg.Service,
-		now:     cfg.Now,
-		resolve: cfg.Resolve,
-		reg:     cfg.Registry,
-		peers:   make(map[string]*peerState),
-		pending: make(map[crp.NodeID]int),
-		rng:     rand.New(rand.NewSource(int64(cfg.Seed))),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		svc:      cfg.Service,
+		now:      cfg.Now,
+		resolve:  cfg.Resolve,
+		reg:      cfg.Registry,
+		jsonOnly: cfg.Codec == "json",
+		peers:    make(map[string]*peerState),
+		pending:  make(map[crp.NodeID]int),
+		rng:      rand.New(rand.NewSource(int64(cfg.Seed))),
+		done:     make(chan struct{}),
 	}
 	for _, c := range []struct {
 		s    *stat
@@ -245,6 +277,9 @@ func New(cfg Config) (*Peering, error) {
 		{&p.shapeMismatch, "peering.shape_mismatch"},
 		{&p.sendErrors, "peering.send_errors"},
 		{&p.gced, "peering.tombstones_gced"},
+		{&p.oversize, "peering.oversize_msgs"},
+		{&p.binMsgs, "peering.bin_msgs"},
+		{&p.binSent, "peering.bin_sent"},
 	} {
 		c.s.c = p.reg.Counter(c.name)
 	}
@@ -306,7 +341,11 @@ func (p *Peering) Close() {
 // readLoop drains the socket until Close (or a permanent socket error).
 func (p *Peering) readLoop(pc net.PacketConn) {
 	defer p.wg.Done()
-	buf := make([]byte, MaxMsgSize)
+	// One byte over the wire bound: a datagram that fills a MaxMsgSize
+	// buffer exactly would be indistinguishable from a kernel-truncated
+	// larger one, so the extra byte makes oversize detectable and
+	// HandleDatagram drops (and counts) it instead of decoding garbage.
+	buf := make([]byte, MaxMsgSize+1)
 	for {
 		select {
 		case <-p.done:
@@ -394,7 +433,7 @@ func (p *Peering) Join(addr string) error {
 	if err != nil {
 		return fmt.Errorf("peering: resolve %q: %w", addr, err)
 	}
-	return p.send(a, Msg{Type: MsgJoin, From: p.cfg.Self, Addr: p.cfg.Addr})
+	return p.send(a, Msg{Type: MsgJoin, From: p.cfg.Self, Addr: p.cfg.Addr, Codec: p.codecToken()})
 }
 
 // Status reports the engine's peers and counters.
@@ -433,6 +472,9 @@ func (p *Peering) Stats() StatsSnapshot {
 		ShapeMismatch:  p.shapeMismatch.v.Load(),
 		SendErrors:     p.sendErrors.v.Load(),
 		TombstonesGCed: p.gced.v.Load(),
+		OversizeMsgs:   p.oversize.v.Load(),
+		BinMsgs:        p.binMsgs.v.Load(),
+		BinSent:        p.binSent.v.Load(),
 	}
 }
 
@@ -465,12 +507,14 @@ func (p *Peering) Tick(now time.Time) {
 		return out
 	}
 	var pushes []struct {
-		to  *peerState
-		msg Msg
+		to     *peerState
+		deltas []crp.NodeDelta
+		ttl    int
 	}
 	if queue != nil && len(p.order) > 0 {
 		// Partition the queue by remaining TTL (a message carries one TTL),
-		// sorted for determinism.
+		// sorted for determinism. Chunking into datagrams is deferred to
+		// sendDeltas, which packs to the target peer's codec budget.
 		byTTL := map[int][]crp.NodeID{}
 		for node, ttl := range queue {
 			byTTL[ttl] = append(byTTL[ttl], node)
@@ -483,27 +527,21 @@ func (p *Peering) Tick(now time.Time) {
 		for _, ttl := range ttls {
 			nodes := byTTL[ttl]
 			sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-			for start := 0; start < len(nodes); start += p.cfg.MaxDeltasPerMsg {
-				end := start + p.cfg.MaxDeltasPerMsg
-				if end > len(nodes) {
-					end = len(nodes)
+			deltas := make([]crp.NodeDelta, 0, len(nodes))
+			for _, node := range nodes {
+				if d, ok := p.svc.ExportDelta(node); ok {
+					deltas = append(deltas, d)
 				}
-				deltas := make([]crp.NodeDelta, 0, end-start)
-				for _, node := range nodes[start:end] {
-					if d, ok := p.svc.ExportDelta(node); ok {
-						deltas = append(deltas, d)
-					}
-				}
-				if len(deltas) == 0 {
-					continue
-				}
-				msg := Msg{Type: MsgDelta, From: p.cfg.Self, Deltas: deltas, TTL: ttl}
-				for _, ps := range targetsPerTTL() {
-					pushes = append(pushes, struct {
-						to  *peerState
-						msg Msg
-					}{ps, msg})
-				}
+			}
+			if len(deltas) == 0 {
+				continue
+			}
+			for _, ps := range targetsPerTTL() {
+				pushes = append(pushes, struct {
+					to     *peerState
+					deltas []crp.NodeDelta
+					ttl    int
+				}{ps, deltas, ttl})
 			}
 		}
 	}
@@ -516,9 +554,7 @@ func (p *Peering) Tick(now time.Time) {
 	p.mu.Unlock()
 
 	for _, push := range pushes {
-		if err := p.send(push.to.addr, push.msg); err == nil {
-			p.deltasSent.add(uint64(len(push.msg.Deltas)))
-		}
+		p.sendDeltas(push.to, push.deltas, push.ttl)
 	}
 	if aeTarget != nil {
 		msg := Msg{
@@ -526,8 +562,11 @@ func (p *Peering) Tick(now time.Time) {
 			From:       p.cfg.Self,
 			ShardCount: p.svc.ShardCount(),
 			Digests:    p.svc.ShardDigests(),
+			// Digests recur forever, so the codec advertisement here is what
+			// upgrades statically-peered meshes that never exchange joins.
+			Codec: p.codecToken(),
 		}
-		if n, err := p.sendSized(aeTarget.addr, msg); err == nil {
+		if n, err := p.sendPeerSized(aeTarget, msg); err == nil {
 			p.digestsSent.inc()
 			p.digestBytes.add(uint64(n))
 		}
@@ -537,24 +576,55 @@ func (p *Peering) Tick(now time.Time) {
 	}
 }
 
-// send marshals and writes one message to addr.
+// codecToken returns the codec advertisement carried by outbound join,
+// join-ack and digest messages: CodecBinary unless the engine is pinned to
+// JSON.
+func (p *Peering) codecToken() string {
+	if p.jsonOnly {
+		return ""
+	}
+	return CodecBinary
+}
+
+// binTo reports whether traffic to ps should use the binary codec: both
+// sides must speak it.
+func (p *Peering) binTo(ps *peerState) bool {
+	return !p.jsonOnly && ps.bin.Load()
+}
+
+// send marshals and writes one message to addr in the JSON codec — the
+// bootstrap path (join/join-ack and unknown destinations), which must stay
+// readable by every peer version.
 func (p *Peering) send(addr net.Addr, msg Msg) error {
-	_, err := p.sendSized(addr, msg)
+	_, err := p.sendRaw(addr, &msg, false)
 	return err
 }
 
-// sendSized is send, also reporting the encoded size.
-func (p *Peering) sendSized(addr net.Addr, msg Msg) (int, error) {
-	raw, err := json.Marshal(msg)
+// sendPeer writes one message to a known peer in the best codec both sides
+// speak.
+func (p *Peering) sendPeer(ps *peerState, msg Msg) error {
+	_, err := p.sendRaw(ps.addr, &msg, p.binTo(ps))
+	return err
+}
+
+// sendPeerSized is sendPeer, also reporting the encoded size.
+func (p *Peering) sendPeerSized(ps *peerState, msg Msg) (int, error) {
+	return p.sendRaw(ps.addr, &msg, p.binTo(ps))
+}
+
+// sendRaw encodes (enforcing the datagram bound — dropping beats sending a
+// datagram the receiver is guaranteed to reject) and writes one message.
+// Every outbound message from a binary-capable engine carries the codec
+// token, so a peer latches the upgrade on first contact of any kind — not
+// just on joins or digests, which can be rare on a quiet mesh.
+func (p *Peering) sendRaw(addr net.Addr, msg *Msg, bin bool) (int, error) {
+	if msg.Codec == "" {
+		msg.Codec = p.codecToken()
+	}
+	raw, err := encodePeerMsg(msg, bin)
 	if err != nil {
 		p.sendErrors.inc()
 		return 0, err
-	}
-	if len(raw) > MaxMsgSize {
-		// The chunking limits should keep us far from this; dropping beats
-		// sending a datagram the receiver is guaranteed to reject.
-		p.sendErrors.inc()
-		return 0, fmt.Errorf("peering: encoded message %d bytes exceeds %d", len(raw), MaxMsgSize)
 	}
 	p.mu.Lock()
 	pc := p.pc
@@ -567,17 +637,76 @@ func (p *Peering) sendSized(addr net.Addr, msg Msg) (int, error) {
 		p.sendErrors.inc()
 		return 0, err
 	}
+	if bin {
+		p.binSent.inc()
+	}
 	return len(raw), nil
+}
+
+// sendDeltas packs entries to the peer's wire budget — size-driven batching
+// instead of a fixed per-message count — and sends one datagram per chunk.
+// JSON chunks additionally honor the configured count cap (and the JSON
+// decoder's MaxDeltas bound); binary chunks run to the byte budget. An entry
+// too large for any datagram is isolated in its own chunk so the encoder's
+// size check rejects it alone (a send error) without dragging down its
+// batch.
+func (p *Peering) sendDeltas(ps *peerState, deltas []crp.NodeDelta, ttl int) {
+	bin := p.binTo(ps)
+	maxCount := MaxDeltasBinary
+	if !bin {
+		maxCount = p.cfg.MaxDeltasPerMsg
+		if maxCount > MaxDeltas {
+			maxCount = MaxDeltas
+		}
+	}
+	budget := MaxMsgSize - binOverhead
+	var chunk []crp.NodeDelta
+	used := 0
+	flush := func() {
+		if len(chunk) == 0 {
+			return
+		}
+		msg := Msg{Type: MsgDelta, From: p.cfg.Self, Deltas: chunk, TTL: ttl}
+		if err := p.sendPeer(ps, msg); err == nil {
+			p.deltasSent.add(uint64(len(chunk)))
+		}
+		chunk, used = nil, 0
+	}
+	for i := range deltas {
+		n := deltaWireCost(bin, &deltas[i])
+		if len(chunk) > 0 && (used+n > budget || len(chunk) >= maxCount) {
+			flush()
+		}
+		chunk = append(chunk, deltas[i])
+		used += n
+	}
+	flush()
 }
 
 // HandleDatagram processes one inbound gossip datagram synchronously. The
 // read loop and the deterministic harness both call it.
 func (p *Peering) HandleDatagram(raw []byte, from net.Addr) {
 	p.msgs.inc()
-	msg, err := decodePeerMsg(raw)
+	if len(raw) > MaxMsgSize {
+		// Oversized — or kernel-truncated: the read loop's bound+1 buffer is
+		// what makes a datagram bigger than the bound detectable at all. The
+		// bytes never reach a decoder.
+		p.oversize.inc()
+		return
+	}
+	if p.jsonOnly && len(raw) > 0 && raw[0] == binMagic {
+		// A JSON-pinned engine behaves exactly like a daemon predating the
+		// binary codec: binary datagrams are undecodable noise.
+		p.badMsgs.inc()
+		return
+	}
+	msg, bin, err := decodePeerMsg(raw)
 	if err != nil {
 		p.badMsgs.inc()
 		return
+	}
+	if bin {
+		p.binMsgs.inc()
 	}
 	if msg.From == p.cfg.Self {
 		return
@@ -595,6 +724,14 @@ func (p *Peering) HandleDatagram(raw []byte, from net.Addr) {
 		p.handleDiff(msg)
 	case MsgPull:
 		p.handlePull(msg)
+	}
+	// Codec learning runs after the handlers so a join has registered its
+	// sender: an explicit advertisement or any binary-decoded datagram marks
+	// the peer binary-capable.
+	if !p.jsonOnly && (bin || msg.Codec == CodecBinary) {
+		if ps := p.peerByID(msg.From); ps != nil {
+			ps.bin.Store(true)
+		}
 	}
 }
 
@@ -623,7 +760,7 @@ func (p *Peering) handleJoin(msg Msg, from net.Addr, ack bool) {
 	p.addPeerLocked(msg.From, addrStr, addr)
 	p.mu.Unlock()
 	if ack {
-		_ = p.send(addr, Msg{Type: MsgJoinAck, From: p.cfg.Self, Addr: p.cfg.Addr})
+		_ = p.send(addr, Msg{Type: MsgJoinAck, From: p.cfg.Self, Addr: p.cfg.Addr, Codec: p.codecToken()})
 	}
 }
 
@@ -659,9 +796,12 @@ func (p *Peering) handleDelta(msg Msg) {
 
 // handleDigest compares the sender's per-shard digests against the local
 // store and answers with a diff: the differing shard indices plus the local
-// entry metadata for those shards (bounded by MaxMetasPerMsg — shards that
+// entry metadata for those shards, packed to the datagram byte budget (and
+// the MaxMetasPerMsg count cap) in whole shards only — a shard is claimed as
+// covered only if every one of its metas is carried, because handleDiff
+// reads absences from covered shards as "peer lacks this node". Shards that
 // don't fit are left for later rounds, since anti-entropy repairs
-// incrementally). Matching digests count toward the convergence counter.
+// incrementally. Matching digests count toward the convergence counter.
 func (p *Peering) handleDigest(msg Msg) {
 	local := p.svc.ShardDigests()
 	if msg.ShardCount != len(local) || len(msg.Digests) != len(local) {
@@ -683,24 +823,31 @@ func (p *Peering) handleDigest(msg Msg) {
 	if ps == nil {
 		return
 	}
+	bin := p.binTo(ps)
 	reply := Msg{Type: MsgDiff, From: p.cfg.Self}
-	budget := p.cfg.MaxMetasPerMsg
+	count := p.cfg.MaxMetasPerMsg
+	budget := MaxMsgSize - binOverhead
 	for _, shard := range differing {
 		metas, err := p.svc.ShardMetas(shard)
 		if err != nil {
 			continue
 		}
-		if len(metas) > budget && len(reply.Shards) > 0 {
+		cost := shardIdxWireCost(bin, shard)
+		for i := range metas {
+			cost += metaWireCost(bin, &metas[i])
+		}
+		if len(reply.Shards) > 0 && (cost > budget || len(metas) > count) {
 			break // this shard doesn't fit; later rounds will get to it
 		}
 		reply.Shards = append(reply.Shards, shard)
 		reply.Metas = append(reply.Metas, metas...)
-		budget -= len(metas)
-		if budget <= 0 {
+		budget -= cost
+		count -= len(metas)
+		if budget <= 0 || count <= 0 {
 			break
 		}
 	}
-	_ = p.send(ps.addr, reply)
+	_ = p.sendPeer(ps, reply)
 }
 
 // handleDiff reconciles the peer's metadata against the local store: local
@@ -763,7 +910,7 @@ func (p *Peering) handleDiff(msg Msg) {
 		if end > len(pull) {
 			end = len(pull)
 		}
-		if err := p.send(ps.addr, Msg{Type: MsgPull, From: p.cfg.Self, Nodes: pull[start:end]}); err == nil {
+		if err := p.sendPeer(ps, Msg{Type: MsgPull, From: p.cfg.Self, Nodes: pull[start:end]}); err == nil {
 			p.pulls.inc()
 		}
 	}
@@ -782,36 +929,21 @@ func (p *Peering) handlePull(msg Msg) {
 	p.pushDeltas(ps, nodes)
 }
 
-// pushDeltas exports and sends the named entries to one peer in
-// MaxDeltasPerMsg chunks with a one-hop budget (anti-entropy repairs are
+// pushDeltas exports and sends the named entries to one peer, packed to the
+// wire budget by sendDeltas, with a one-hop budget (anti-entropy repairs are
 // point-to-point; rumor fan-out is Tick's job).
 func (p *Peering) pushDeltas(ps *peerState, nodes []crp.NodeID) {
 	if len(nodes) == 0 {
 		return
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	deltas := make([]crp.NodeDelta, 0, p.cfg.MaxDeltasPerMsg)
-	flush := func() {
-		if len(deltas) == 0 {
-			return
-		}
-		msg := Msg{Type: MsgDelta, From: p.cfg.Self, Deltas: deltas, TTL: 1}
-		if err := p.send(ps.addr, msg); err == nil {
-			p.deltasSent.add(uint64(len(deltas)))
-		}
-		deltas = make([]crp.NodeDelta, 0, p.cfg.MaxDeltasPerMsg)
-	}
+	deltas := make([]crp.NodeDelta, 0, len(nodes))
 	for _, node := range nodes {
-		d, ok := p.svc.ExportDelta(node)
-		if !ok {
-			continue
-		}
-		deltas = append(deltas, d)
-		if len(deltas) == p.cfg.MaxDeltasPerMsg {
-			flush()
+		if d, ok := p.svc.ExportDelta(node); ok {
+			deltas = append(deltas, d)
 		}
 	}
-	flush()
+	p.sendDeltas(ps, deltas, 1)
 }
 
 // peerByID looks up a known peer.

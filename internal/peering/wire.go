@@ -8,11 +8,15 @@ import (
 	"repro/crp"
 )
 
-// Gossip wire protocol: one JSON Msg per UDP datagram, same discipline as
-// the crpd request path (internal/crpdaemon/decode.go) — every field that
-// sizes an allocation, keys a map or indexes a slice is bounded in one
-// decode function before any handler logic runs, so a hostile or corrupted
-// datagram costs one counter bump, never memory or CPU.
+// Gossip wire protocol: one Msg per UDP datagram, in one of two codecs —
+// compact binary (wire.go's bounds + binwire primitives, format in
+// binwire.go and DESIGN.md §9) or JSON, the bootstrap/fallback codec every
+// version speaks. The first byte routes: binMagic means binary, anything
+// else (JSON starts with '{') means JSON. Both codecs share one bounds
+// discipline, same as the crpd request path (internal/crpdaemon/decode.go):
+// every field that sizes an allocation, keys a map or indexes a slice is
+// bounded in the decode path before any handler logic runs, so a hostile or
+// corrupted datagram costs one counter bump, never memory or CPU.
 
 // Msg types.
 const (
@@ -36,19 +40,43 @@ const (
 
 // Wire bounds.
 const (
-	// MaxMsgSize bounds the raw datagram; it matches the read buffer.
-	MaxMsgSize = 64 * 1024
+	// MaxMsgSize bounds the raw datagram at the IPv4 UDP payload ceiling
+	// (65535 - 8 UDP - 20 IP), matching crpdaemon.MaxReplySize. It used to
+	// be 64 KiB, which left a 65508..65536-byte gap where a message passed
+	// the encoder's own size check and then failed at WriteTo — the bound
+	// now guarantees that whatever the encoder accepts is sendable.
+	MaxMsgSize = 65507
 	// MaxIDBytes bounds daemon IDs, addresses and node names (DNS-name
 	// scale, like crpd's identity fields).
 	MaxIDBytes = 255
-	// MaxShardCount bounds the digest vector and any shard index; it is the
-	// store's own width ceiling (crp shard clamp tops out at 1024, with
-	// headroom for explicit wider configs).
-	MaxShardCount = 4096
-	// MaxMetas bounds the flat metadata list of a diff.
+	// MaxShardCount bounds the digest vector and any shard index. It is
+	// sized from the wire, not the store: a digest message carries one
+	// 64-bit word per shard, and at 2048 shards the worst case (every word
+	// 20 decimal digits, a 255-byte sender ID) still encodes under
+	// MaxMsgSize in JSON (~43 KiB) as well as binary (~16 KiB);
+	// TestWorstCaseDigestFitsTheWire pins both. The former 4096 ceiling
+	// was a lie — a 4096-shard digest worst-case JSON-encodes to ~86 KiB,
+	// which the encoder itself would refuse to send, so anti-entropy could
+	// never run at that width. New rejects wider stores up front. The crp
+	// shard clamp tops out at 1024, so defaults keep 2x headroom.
+	MaxShardCount = 2048
+	// MaxMetas bounds the flat metadata list of a diff. It is a decode
+	// sanity cap, not a fit guarantee: worst-case metas (255-byte node and
+	// origin IDs) overflow a datagram well before this count, so outbound
+	// diffs are packed to the byte budget (packMetas) and only whole
+	// shards whose metas fit are claimed as covered.
 	MaxMetas = 4096
-	// MaxDeltas bounds the entries of one delta message.
+	// MaxDeltas bounds the entries of one JSON delta message. Binary delta
+	// messages are instead packed (and bounded) by the wire budget — see
+	// MaxDeltasBinary.
 	MaxDeltas = 256
+	// MaxDeltasBinary is the decode sanity cap for binary delta messages,
+	// whose batching is size-driven: entries are packed until the datagram
+	// budget is reached, so tiny entries can exceed the JSON count cap.
+	// The smallest possible entry is ~6 wire bytes, so a datagram can
+	// physically hold ~10k; the cap sits above that and the decoder's
+	// remaining-bytes check enforces the real ceiling.
+	MaxDeltasBinary = 16384
 	// MaxProbesPerDelta bounds one entry's probe window.
 	MaxProbesPerDelta = 4096
 	// MaxReplicasPerProbe bounds one probe's replica set.
@@ -57,7 +85,14 @@ const (
 	MaxPullNodes = 1024
 	// MaxTTL bounds the rumor hop budget.
 	MaxTTL = 16
+	// MaxCodecBytes bounds the codec-advertisement token.
+	MaxCodecBytes = 16
 )
+
+// CodecBinary is the codec token advertised in join/join-ack/digest
+// messages by engines that accept the compact binary codec. Unknown tokens
+// are ignored (forward compatibility); an absent token means JSON only.
+const CodecBinary = "bin1"
 
 // Msg is one gossip datagram. Fields are pooled across types; decodePeerMsg
 // checks only the bounds, handlers ignore fields their type doesn't use.
@@ -83,6 +118,11 @@ type Msg struct {
 	Nodes []string `json:"nodes,omitempty"`
 	// TTL is the remaining rumor hop budget of the carried deltas (delta).
 	TTL int `json:"ttl,omitempty"`
+	// Codec advertises the sender's wire-codec support (join, join-ack and
+	// digest — the periodic messages, so statically-peered meshes upgrade
+	// without a handshake). CodecBinary means binary is accepted; empty or
+	// unknown means JSON only.
+	Codec string `json:"codec,omitempty"`
 }
 
 // validTypes gates Msg.Type.
@@ -91,25 +131,32 @@ var validTypes = map[string]bool{
 	MsgDigest: true, MsgDiff: true, MsgPull: true,
 }
 
-// decodePeerMsg parses and bounds-checks one gossip datagram. It is the
-// single decode path — the socket loop and the deterministic in-memory
-// harness both route through it.
-func decodePeerMsg(raw []byte) (Msg, error) {
-	var m Msg
+// decodePeerMsg parses and bounds-checks one gossip datagram in either
+// codec, routed by the first byte. It is the single decode path — the
+// socket loop and the deterministic in-memory harness both route through
+// it. The returned bin flag reports which codec the sender used, which is
+// how an engine learns a statically-added peer speaks binary.
+func decodePeerMsg(raw []byte) (m Msg, bin bool, err error) {
 	if len(raw) > MaxMsgSize {
-		return m, fmt.Errorf("message too large: %d bytes exceeds the %d-byte limit", len(raw), MaxMsgSize)
+		return m, false, fmt.Errorf("message too large: %d bytes exceeds the %d-byte limit", len(raw), MaxMsgSize)
+	}
+	if len(raw) > 0 && raw[0] == binMagic {
+		m, err = decodeBinaryPeerMsg(raw)
+		if err != nil {
+			return m, true, err
+		}
+		return m, true, checkPeerMsg(&m, MaxDeltasBinary)
 	}
 	if err := json.Unmarshal(raw, &m); err != nil {
-		return m, fmt.Errorf("bad message: %v", err)
+		return m, false, fmt.Errorf("bad message: %v", err)
 	}
-	if err := checkPeerMsg(&m); err != nil {
-		return m, err
-	}
-	return m, nil
+	return m, false, checkPeerMsg(&m, MaxDeltas)
 }
 
 // checkPeerMsg validates the decoded fields against the wire bounds.
-func checkPeerMsg(m *Msg) error {
+// maxDeltas is the codec's delta-count cap: JSON messages chunk by count,
+// binary messages pack to the byte budget and carry a looser sanity cap.
+func checkPeerMsg(m *Msg, maxDeltas int) error {
 	if !validTypes[m.Type] {
 		return fmt.Errorf("unknown message type %q", m.Type)
 	}
@@ -150,8 +197,8 @@ func checkPeerMsg(m *Msg) error {
 			return err
 		}
 	}
-	if len(m.Deltas) > MaxDeltas {
-		return fmt.Errorf("delta list has %d entries, limit %d", len(m.Deltas), MaxDeltas)
+	if len(m.Deltas) > maxDeltas {
+		return fmt.Errorf("delta list has %d entries, limit %d", len(m.Deltas), maxDeltas)
 	}
 	for i := range m.Deltas {
 		if err := checkDelta(i, &m.Deltas[i]); err != nil {
@@ -171,6 +218,9 @@ func checkPeerMsg(m *Msg) error {
 	}
 	if m.TTL < 0 || m.TTL > MaxTTL {
 		return fmt.Errorf("ttl %d outside [0, %d]", m.TTL, MaxTTL)
+	}
+	if len(m.Codec) > MaxCodecBytes {
+		return fmt.Errorf("codec token is %d bytes, limit %d", len(m.Codec), MaxCodecBytes)
 	}
 	return nil
 }

@@ -46,7 +46,7 @@ func TestDecodePeerMsgBounds(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := decodePeerMsg([]byte(tc.raw))
+			_, _, err := decodePeerMsg([]byte(tc.raw))
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("decodePeerMsg(%q) = %v, want ok", truncateRaw(tc.raw), err)
@@ -111,10 +111,14 @@ func FuzzDecodePeerMsg(f *testing.F) {
 	}
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
-		m, err := decodePeerMsg(raw)
+		m, bin, err := decodePeerMsg(raw)
 		if err == nil {
+			maxDeltas := MaxDeltas
+			if bin {
+				maxDeltas = MaxDeltasBinary
+			}
 			if !validTypes[m.Type] || len(m.Digests) > MaxShardCount ||
-				len(m.Metas) > MaxMetas || len(m.Deltas) > MaxDeltas ||
+				len(m.Metas) > MaxMetas || len(m.Deltas) > maxDeltas ||
 				len(m.Nodes) > MaxPullNodes || m.TTL < 0 || m.TTL > MaxTTL {
 				t.Fatalf("decoder accepted out-of-bounds message: %+v", m)
 			}
