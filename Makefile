@@ -16,14 +16,18 @@ test:
 # (BENCH_faults.json: closest-node accuracy across probe-loss rates x CDN
 # staleness windows), then the gossip sweep (BENCH_gossip.json: multi-daemon
 # convergence rounds and replication fidelity across rumor fanout x
-# gossip-link packet loss). All reports embed provenance metadata (seed,
-# host width, go version, scale knobs).
+# gossip-link packet loss), then the aggregation scale bench
+# (BENCH_scale.json: million-client ingest with prefix aggregation on/off x
+# prefix granularity — state reduction, closest-node rank delta vs the
+# per-client baseline, query p99 under concurrent ingest). All reports embed
+# provenance metadata (seed, host width, go version, scale knobs).
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 	$(GO) run ./cmd/crpbench -exp crpd -quick -out BENCH_crpd.json
 	$(GO) run ./cmd/crpbench -exp churn -out BENCH_churn.json
 	$(GO) run ./cmd/crpbench -exp faults -out BENCH_faults.json
 	$(GO) run ./cmd/crpbench -exp gossip -out BENCH_gossip.json
+	$(GO) run ./cmd/crpbench -exp scale -out BENCH_scale.json
 
 # test-faults runs the fault-injection degradation suite (clean-vs-faulted
 # accuracy envelopes per fault class, activation-counter assertions,

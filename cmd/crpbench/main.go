@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations|kernels|crpd|churn|faults|gossip] [-quick] [-seed N] [-nodes N] [-out FILE]
+//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations|kernels|crpd|churn|faults|gossip|scale] [-quick] [-seed N] [-nodes N] [-out FILE] [-det-out FILE]
 //
 // The kernels, crpd, churn and faults experiments are not from the paper:
 // kernels compares the map-based similarity path (Dot + two Norms per pair)
@@ -18,8 +18,12 @@
 // plane across probe-loss rates and CDN map-staleness windows and reports
 // the accuracy degradation at each point; gossip sweeps the multi-daemon
 // peering plane across rumor fanout and gossip-link packet loss and reports
-// convergence rounds and replication fidelity. All five write their report
-// JSON (with provenance metadata) to -out.
+// convergence rounds and replication fidelity; scale ingests a million-client
+// population with prefix aggregation on and off, reporting state reduction,
+// closest-node rank deltas versus the per-client baseline, and query p99
+// under concurrent ingest (-det-out additionally writes the
+// timing-independent slice of the report for determinism checks). All six
+// write their report JSON (with provenance metadata) to -out.
 //
 // Every experiment dumps the process-wide obs metrics snapshot when it
 // finishes, so each run leaves instrumentation data alongside its tables.
@@ -47,11 +51,12 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("crpbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations, kernels, crpd, churn, faults, gossip")
+	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations, kernels, crpd, churn, faults, gossip, scale")
 	quick := fs.Bool("quick", false, "run a reduced-scale configuration")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	nodes := fs.Int("nodes", 0, "override the churn experiment's node count (0 = default scale)")
 	out := fs.String("out", "", "write the bench report JSON (crpd, churn) to this file")
+	detOut := fs.String("det-out", "", "scale experiment: also write the timing-independent report slice to this file (for same-seed determinism checks)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +77,9 @@ func run(args []string) error {
 	}
 	if *exp == "gossip" {
 		return runGossipBench(*quick, *seed, *out)
+	}
+	if *exp == "scale" {
+		return runScale(*quick, *seed, *out, *detOut)
 	}
 
 	params := experiment.DefaultScenarioParams()
@@ -204,7 +212,7 @@ func run(args []string) error {
 	}
 
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of: all fig4 fig5 table1 fig6 fig7 fig8 fig9 repair sec6 ablations kernels crpd churn faults gossip)", *exp)
+		return fmt.Errorf("unknown experiment %q (want one of: all fig4 fig5 table1 fig6 fig7 fig8 fig9 repair sec6 ablations kernels crpd churn faults gossip scale)", *exp)
 	}
 	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

@@ -10,7 +10,7 @@
 //	crpd [-listen 127.0.0.1:5353] [-window 10] [-state FILE]
 //	     [-cheap-workers N] [-heavy-workers N] [-queue N] [-timeout 5s]
 //	     [-gossip-listen ADDR] [-peers ADDR,ADDR] [-gossip-interval 1s]
-//	     [-daemon-id ID]
+//	     [-daemon-id ID] [-aggregate BITS]
 //
 // Request shapes:
 //
@@ -38,6 +38,14 @@
 // locally observed or forgotten node gossips to its peers and anti-entropy
 // keeps the stores converged (see internal/peering and DESIGN.md §8). Peers
 // are seeded with -peers or at runtime through the peer-join op.
+//
+// With -aggregate BITS set, IPv4-addressed client nodes are aggregated by
+// their /BITS prefix instead of getting one tracker each (the million-client
+// mode; see DESIGN.md §10): probes collapse into per-prefix ratio maps,
+// queries fall back per-client only for divergent clients, and the "stats"
+// op reports group count, fallback ratio and a state-size proxy under
+// crp.aggregate.*. Aggregated clients live outside the sharded store, so
+// they are neither gossiped to peers nor written to -state snapshots.
 package main
 
 import (
@@ -78,11 +86,15 @@ func run(args []string) error {
 	gossipInterval := flags.Duration("gossip-interval", time.Second, "gossip round cadence")
 	gossipCodec := flags.String("gossip-codec", "", `gossip wire codec: "" or "binary" negotiates the compact binary codec, "json" pins the JSON fallback (for meshes with non-upgraded daemons)`)
 	daemonID := flags.String("daemon-id", "", "this daemon's mesh identity (default: the gossip listen address)")
+	aggregate := flags.Int("aggregate", 0, "aggregate IPv4 clients by /BITS prefix instead of per-client trackers (0 = off)")
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
 	if *peers != "" && *gossipListen == "" {
 		return errors.New("-peers requires -gossip-listen")
+	}
+	if *aggregate < 0 || *aggregate > 32 {
+		return fmt.Errorf("-aggregate %d: prefix length must be in 1..32", *aggregate)
 	}
 
 	var opts []crp.TrackerOption
@@ -90,6 +102,12 @@ func run(args []string) error {
 		opts = append(opts, crp.WithWindow(*window))
 	}
 	svc := crp.NewService(opts...)
+	if *aggregate > 0 {
+		if err := svc.EnableAggregation(crp.AggregatorConfig{KeyOf: crp.PrefixKeyFunc(*aggregate)}); err != nil {
+			return err
+		}
+		fmt.Printf("crpd aggregating clients by /%d prefix\n", *aggregate)
+	}
 
 	// Warm start: CRP's bootstrap time is ~100 minutes of history, so a
 	// restarting daemon reloads its redirection state.

@@ -73,3 +73,11 @@ func TestPeersFlagRequiresGossipListen(t *testing.T) {
 		t.Fatalf("err = %v, want the -peers/-gossip-listen coupling error", err)
 	}
 }
+
+func TestAggregateFlagValidation(t *testing.T) {
+	for _, bad := range []string{"-1", "33", "64"} {
+		if err := run([]string{"-aggregate", bad}); err == nil {
+			t.Errorf("-aggregate %s accepted", bad)
+		}
+	}
+}

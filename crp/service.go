@@ -50,6 +50,11 @@ var svcMetrics = struct {
 // instead of recompiling the full candidate set.
 type Service struct {
 	store *store
+	// agg, when non-nil, is the prefix/LDNS aggregation plane (aggregate.go):
+	// keyed clients' probes collapse into per-prefix ratio maps and their
+	// queries resolve per-client state first, then the aggregate. Set once by
+	// EnableAggregation before the service takes traffic.
+	agg *aggregator
 }
 
 // ErrUnknownNode is returned for queries about nodes the service has no
@@ -73,9 +78,37 @@ func NewServiceWithStore(cfg StoreConfig, opts ...TrackerOption) *Service {
 
 // Observe records a redirection probe for node: the replica servers one CDN
 // lookup returned at time at. Unknown nodes are added automatically.
+//
+// With aggregation enabled, probes of keyed clients are absorbed into their
+// prefix's aggregate ratio map instead of a per-client tracker (aggregate.go)
+// — such probes do not touch the sharded store, so they are invisible to the
+// peering plane's replication and to WriteSnapshot. A keyed client demoted
+// for divergence goes back to the ordinary per-client path, its fresh tracker
+// seeded from the divergence reservoir.
 func (s *Service) Observe(node NodeID, at time.Time, replicas ...ReplicaID) error {
 	if node == "" {
 		return errors.New("crp: empty node ID")
+	}
+	if s.agg != nil {
+		route, seeds := s.agg.observe(node, at, replicas)
+		switch route {
+		case aggAbsorbed:
+			svcMetrics.observes.Inc()
+			return nil
+		case aggPerClient:
+			if len(seeds) > 0 {
+				// The demoting probe is the reservoir's newest entry, so
+				// replaying the seeds replays it too.
+				s.store.observe(node, func(t *Tracker) {
+					for _, p := range seeds {
+						t.Observe(p.at, p.replicas...)
+					}
+				})
+				svcMetrics.observes.Inc()
+				return nil
+			}
+		}
+		// aggUnkeyed, or a previously demoted client: per-client path.
 	}
 	s.store.observe(node, func(t *Tracker) { t.Observe(at, replicas...) })
 	svcMetrics.observes.Inc()
@@ -92,15 +125,29 @@ func (s *Service) Nodes() []NodeID {
 	return s.store.nodeIDs()
 }
 
-// RatioMap returns the node's current ratio map.
+// RatioMap returns the node's current ratio map. For an aggregated client it
+// is the client's group's served (quantized) map.
 func (s *Service) RatioMap(node NodeID) (RatioMap, error) {
 	defer timeQuery()()
 	svcMetrics.queries.Inc()
 	tr, ok := s.store.get(node)
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, node)
+	if ok {
+		if s.agg != nil && s.agg.keyed(node) {
+			noteResolution(true)
+		}
+		return tr.RatioMap(), nil
 	}
-	return tr.RatioMap(), nil
+	if s.agg != nil {
+		if v, ok := s.agg.vecFor(node); ok {
+			noteResolution(false)
+			m := make(RatioMap, len(v.ids))
+			for i, id := range v.ids {
+				m[id] = v.vals[i]
+			}
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownNode, node)
 }
 
 // Similarity returns the cosine similarity between two nodes' current ratio
@@ -119,23 +166,40 @@ func (s *Service) Similarity(a, b NodeID) (float64, error) {
 	return va.cosine(vb), nil
 }
 
-// clientVec returns the compiled ratio vector of one known node.
+// clientVec returns the compiled ratio vector of one known node. Per-client
+// state wins when both exist (a demoted client's tracker is authoritative);
+// otherwise a keyed client resolves through its aggregate. The hit/fallback
+// accounting only sees keyed clients, so the fallback ratio measures how
+// often aggregation failed to absorb a client it claimed, not how much
+// non-client (candidate) traffic the service carries.
 func (s *Service) clientVec(node NodeID) (ratioVec, error) {
 	tr, ok := s.store.get(node)
-	if !ok {
-		return ratioVec{}, fmt.Errorf("%w: %q", ErrUnknownNode, node)
+	if ok {
+		if s.agg != nil && s.agg.keyed(node) {
+			noteResolution(true)
+		}
+		return tr.vec(), nil
 	}
-	return tr.vec(), nil
+	if s.agg != nil {
+		if v, ok := s.agg.vecFor(node); ok {
+			noteResolution(false)
+			return v, nil
+		}
+	}
+	return ratioVec{}, fmt.Errorf("%w: %q", ErrUnknownNode, node)
 }
 
 // candidateVecs snapshots the compiled ratio vectors of an explicit
 // candidate list (an empty non-nil list means "no candidates"),
 // deduplicating repeated IDs. The nil ("all nodes") case never reaches this
 // path — it is served by the store's stitched snapshot; see TopK/ClosestTo.
+// Aggregated clients are valid candidates too: a store miss falls back to
+// the client's aggregate vector before erroring.
 func (s *Service) candidateVecs(nodes []NodeID) ([]nodeVec, error) {
 	type entry struct {
-		id NodeID
-		tr *Tracker
+		id  NodeID
+		tr  *Tracker
+		vec ratioVec // aggregate-resolved when tr is nil
 	}
 	list := make([]entry, 0, len(nodes))
 	seen := make(map[NodeID]bool, len(nodes))
@@ -143,16 +207,26 @@ func (s *Service) candidateVecs(nodes []NodeID) ([]nodeVec, error) {
 		if seen[id] {
 			continue
 		}
-		tr, ok := s.store.get(id)
-		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrUnknownNode, id)
-		}
 		seen[id] = true
-		list = append(list, entry{id, tr})
+		if tr, ok := s.store.get(id); ok {
+			list = append(list, entry{id: id, tr: tr})
+			continue
+		}
+		if s.agg != nil {
+			if v, ok := s.agg.vecFor(id); ok {
+				list = append(list, entry{id: id, vec: v})
+				continue
+			}
+		}
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, id)
 	}
 	out := make([]nodeVec, len(list))
 	for i, e := range list {
-		out[i] = nodeVec{id: e.id, vec: e.tr.vec()}
+		if e.tr != nil {
+			out[i] = nodeVec{id: e.id, vec: e.tr.vec()}
+		} else {
+			out[i] = nodeVec{id: e.id, vec: e.vec}
+		}
 	}
 	return out, nil
 }
@@ -220,6 +294,12 @@ func (s *Service) ClusterAll(cfg ClusterConfig) ([]Cluster, error) {
 // paths).
 func (s *Service) SameCluster(node NodeID, cfg ClusterConfig) ([]NodeID, error) {
 	if _, known := s.store.get(node); !known {
+		if s.agg != nil {
+			if v, ok := s.agg.vecFor(node); ok {
+				noteResolution(false)
+				return s.sameClusterVia(node, v, cfg)
+			}
+		}
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, node)
 	}
 	clusters, err := s.ClusterAll(cfg)
@@ -230,6 +310,40 @@ func (s *Service) SameCluster(node NodeID, cfg ClusterConfig) ([]NodeID, error) 
 		for _, m := range c.Members {
 			if m == node {
 				others := make([]NodeID, 0, len(c.Members)-1)
+				for _, o := range c.Members {
+					if o != node {
+						others = append(others, o)
+					}
+				}
+				return others, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// sameClusterVia answers SameCluster for an aggregated client, which SMF
+// never sees (clustering runs on the per-client snapshot): the client is
+// assigned to the cluster of the tracked node most similar to its aggregate
+// vector, and that cluster's members are its peers. No signal among the
+// tracked nodes means no assignment — an empty result, like a tracked
+// singleton's.
+func (s *Service) sameClusterVia(node NodeID, v ratioVec, cfg ClusterConfig) ([]NodeID, error) {
+	best, ok := bestOf(topSnap(v, s.store.snapshot(), 1, node))
+	if !ok {
+		return nil, nil
+	}
+	clusters, err := s.ClusterAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range clusters {
+		for _, m := range c.Members {
+			if m == best.Node {
+				// The client is not itself a member, so the whole cluster —
+				// minus the client on the off chance an ID collides — is
+				// "the other nodes in its cluster".
+				others := make([]NodeID, 0, len(c.Members))
 				for _, o := range c.Members {
 					if o != node {
 						others = append(others, o)

@@ -153,6 +153,18 @@ type storeShard struct {
 	snapVecs    []nodeVec
 	snapVersion uint64
 
+	// Cached anti-entropy digest, keyed on the shard version like the
+	// sub-snapshot above. Without the cache every gossip digest exchange
+	// re-collects and re-sorts the shard's full metadata set — per peer, per
+	// tick — which at aggregate scale dominates the gossip loop. The cache
+	// makes the steady state (no mutations between ticks) one atomic load.
+	// Every metadata mutation must therefore bump the shard version —
+	// including tombstone GC, which changes the digest's input set.
+	digestMu      sync.Mutex
+	digestVal     uint64
+	digestVersion uint64
+	digestValid   bool
+
 	nodes *obs.Gauge // crp.service.shard.NNN.nodes
 }
 
@@ -529,7 +541,19 @@ func (st *store) shardMetas(i int) []NodeMeta {
 // replicated state, since the probe window is a function of (origin, version)
 // — produce identical digests, so digest comparison is the cheap first phase
 // of anti-entropy: only shards whose words differ exchange metadata.
+//
+// The digest is cached against the shard version (same publication rule as
+// the compiled sub-snapshot: the version is loaded before the fold, and
+// mutations bump it only after they land, so a cached word always describes
+// a state at least as new as its version tag).
 func (st *store) shardDigest(i int) uint64 {
+	sh := &st.shards[i]
+	v := sh.version.Load()
+	sh.digestMu.Lock()
+	defer sh.digestMu.Unlock()
+	if sh.digestValid && sh.digestVersion == v {
+		return sh.digestVal
+	}
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -558,6 +582,7 @@ func (st *store) shardDigest(i int) uint64 {
 			mix(0)
 		}
 	}
+	sh.digestVal, sh.digestVersion, sh.digestValid = h, v, true
 	return h
 }
 
@@ -571,24 +596,37 @@ func (st *store) digests() []uint64 {
 }
 
 // gcTombstones deletes tombstones whose deletion time is before the horizon
-// and returns how many it reclaimed. Reclamation is metadata-only (tombstones
-// have no tracker and no compiled vector), so no version bump and no snapshot
-// invalidation. A peer that somehow missed the deletion for longer than the
-// GC horizon can briefly resurrect the entry through anti-entropy — the
-// horizon is the declared replication deadline, and DESIGN.md §8 documents
-// the trade.
+// and returns how many it reclaimed. Although reclamation touches no tracker
+// and no compiled vector, it DOES change the metadata set the shard digest
+// folds over, so every shard that reclaimed something publishes like any
+// other mutation: delete under the lock, then bump the shard and store
+// versions. Without the bump the cached digest keeps describing the
+// pre-GC set, and an anti-entropy round against a peer that GC'd on a
+// different schedule would compare a stale word — agreeing shards would
+// look different (wasted metadata exchanges) and, worse, differing shards
+// could look identical and never re-sync. Shards that reclaimed nothing
+// publish nothing, so the routine stays free for the common empty tick. A
+// peer that somehow missed the deletion for longer than the GC horizon can
+// briefly resurrect the entry through anti-entropy — the horizon is the
+// declared replication deadline, and DESIGN.md §8 documents the trade.
 func (st *store) gcTombstones(horizon time.Time) int {
 	n := 0
 	for i := range st.shards {
 		sh := &st.shards[i]
 		sh.mu.Lock()
+		reclaimed := 0
 		for id, m := range sh.meta {
 			if m.deleted && m.deletedAt.Before(horizon) {
 				delete(sh.meta, id)
-				n++
+				reclaimed++
 			}
 		}
 		sh.mu.Unlock()
+		if reclaimed > 0 {
+			sh.version.Add(1)
+			st.version.Add(1)
+			n += reclaimed
+		}
 	}
 	return n
 }

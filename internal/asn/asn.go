@@ -4,6 +4,13 @@
 // nearby. The paper derives AS membership from RouteViews BGP data; here the
 // prefix table is generated alongside the topology, and lookups use genuine
 // longest-prefix matching over prefixes of varying length.
+//
+// Since the aggregation plane arrived (crp/aggregate.go), Lookup is also on
+// the per-probe ingest hot path — every keyed client observation resolves
+// its prefix — so the table is a flat per-length sorted-array structure
+// (binary search per distinct length, longest first) instead of the original
+// map-of-maps: no per-call hashing, no pointer chasing, cache-friendly
+// probes, and the matched prefix itself is recoverable for aggregation keys.
 package asn
 
 import (
@@ -16,12 +23,52 @@ import (
 	"repro/internal/netsim"
 )
 
+// lenClass holds every prefix of one length: masked addresses sorted
+// ascending with the originating ASN alongside.
+type lenClass struct {
+	bits int
+	keys []uint32
+	asns []netsim.ASN
+}
+
 // Table is an immutable IP→ASN longest-prefix-match table.
 type Table struct {
-	// byLen maps prefix length → masked address → ASN.
-	byLen   map[int]map[uint32]netsim.ASN
-	lengths []int // present lengths, descending
+	classes []lenClass // distinct prefix lengths, descending (longest first)
 	size    int
+}
+
+// NewTable builds a table from an explicit prefix→ASN map. It rejects
+// non-IPv4 prefixes; duplicate prefixes cannot occur in a map.
+func NewTable(routes map[netip.Prefix]netsim.ASN) (*Table, error) {
+	byLen := make(map[int]*lenClass)
+	t := &Table{}
+	for pfx, as := range routes {
+		if !pfx.Addr().Is4() {
+			return nil, fmt.Errorf("asn: non-IPv4 prefix %v", pfx)
+		}
+		bits := pfx.Bits()
+		c, ok := byLen[bits]
+		if !ok {
+			c = &lenClass{bits: bits}
+			byLen[bits] = c
+		}
+		c.keys = append(c.keys, maskedKey(pfx.Addr(), bits))
+		c.asns = append(c.asns, as)
+		t.size++
+	}
+	for _, c := range byLen {
+		sort.Sort(c)
+		t.classes = append(t.classes, *c)
+	}
+	sort.Slice(t.classes, func(i, j int) bool { return t.classes[i].bits > t.classes[j].bits })
+	return t, nil
+}
+
+func (c *lenClass) Len() int           { return len(c.keys) }
+func (c *lenClass) Less(i, j int) bool { return c.keys[i] < c.keys[j] }
+func (c *lenClass) Swap(i, j int) {
+	c.keys[i], c.keys[j] = c.keys[j], c.keys[i]
+	c.asns[i], c.asns[j] = c.asns[j], c.asns[i]
 }
 
 // BuildTable constructs the routing table from a topology's AS prefixes.
@@ -29,31 +76,20 @@ func BuildTable(topo *netsim.Topology) (*Table, error) {
 	if topo == nil {
 		return nil, errors.New("asn: nil topology")
 	}
-	t := &Table{byLen: make(map[int]map[uint32]netsim.ASN)}
+	routes := make(map[netip.Prefix]netsim.ASN)
 	for _, as := range topo.ASes() {
 		for _, pfx := range as.Prefixes {
 			if !pfx.Addr().Is4() {
 				return nil, fmt.Errorf("asn: non-IPv4 prefix %v", pfx)
 			}
-			bits := pfx.Bits()
-			m, ok := t.byLen[bits]
-			if !ok {
-				m = make(map[uint32]netsim.ASN)
-				t.byLen[bits] = m
-			}
-			key := maskedKey(pfx.Addr(), bits)
-			if prev, dup := m[key]; dup && prev != as.ASN {
+			key := netip.PrefixFrom(pfx.Addr(), pfx.Bits()).Masked()
+			if prev, dup := routes[key]; dup && prev != as.ASN {
 				return nil, fmt.Errorf("asn: prefix %v announced by AS%d and AS%d", pfx, prev, as.ASN)
 			}
-			m[key] = as.ASN
-			t.size++
+			routes[key] = as.ASN
 		}
 	}
-	for bits := range t.byLen {
-		t.lengths = append(t.lengths, bits)
-	}
-	sort.Sort(sort.Reverse(sort.IntSlice(t.lengths)))
-	return t, nil
+	return NewTable(routes)
 }
 
 // Len returns the number of prefixes in the table.
@@ -64,12 +100,81 @@ func (t *Table) Lookup(addr netip.Addr) (netsim.ASN, bool) {
 	if !addr.Is4() {
 		return 0, false
 	}
-	for _, bits := range t.lengths {
-		if as, ok := t.byLen[bits][maskedKey(addr, bits)]; ok {
+	b := addr.As4()
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	for i := range t.classes {
+		c := &t.classes[i]
+		if as, ok := c.find(v); ok {
 			return as, true
 		}
 	}
 	return 0, false
+}
+
+// LookupPrefix is Lookup plus the matched prefix itself — what the
+// aggregation plane keys its groups by.
+func (t *Table) LookupPrefix(addr netip.Addr) (netip.Prefix, netsim.ASN, bool) {
+	if !addr.Is4() {
+		return netip.Prefix{}, 0, false
+	}
+	b := addr.As4()
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	for i := range t.classes {
+		c := &t.classes[i]
+		if as, ok := c.find(v); ok {
+			key := v
+			if c.bits <= 0 {
+				key = 0
+			} else if c.bits < 32 {
+				key = v &^ (1<<(32-c.bits) - 1)
+			}
+			a := netip.AddrFrom4([4]byte{byte(key >> 24), byte(key >> 16), byte(key >> 8), byte(key)})
+			return netip.PrefixFrom(a, c.bits), as, true
+		}
+	}
+	return netip.Prefix{}, 0, false
+}
+
+// find binary-searches the class for the masked form of v.
+func (c *lenClass) find(v uint32) (netsim.ASN, bool) {
+	key := v
+	if c.bits <= 0 {
+		key = 0
+	} else if c.bits < 32 {
+		key = v &^ (1<<(32-c.bits) - 1)
+	}
+	lo, hi := 0, len(c.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.keys) && c.keys[lo] == key {
+		return c.asns[lo], true
+	}
+	return 0, false
+}
+
+// KeyFunc adapts the table to the aggregation plane's KeyOf seam
+// (crp.AggregatorConfig): a NodeID that parses as an IPv4 address and
+// matches a prefix aggregates under that prefix's canonical string; all
+// other IDs are declined and stay per-client. This is the routing-aware
+// alternative to crp.PrefixKeyFunc's fixed-granularity masking.
+func (t *Table) KeyFunc() func(crp.NodeID) (string, bool) {
+	return func(n crp.NodeID) (string, bool) {
+		addr, err := netip.ParseAddr(string(n))
+		if err != nil {
+			return "", false
+		}
+		pfx, _, ok := t.LookupPrefix(addr)
+		if !ok {
+			return "", false
+		}
+		return pfx.String(), true
+	}
 }
 
 func maskedKey(addr netip.Addr, bits int) uint32 {

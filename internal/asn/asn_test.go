@@ -67,17 +67,68 @@ func TestLookupMisses(t *testing.T) {
 }
 
 func TestLookupLongestPrefixWins(t *testing.T) {
-	// Hand-build a table with nested prefixes to verify LPM semantics.
-	table := &Table{byLen: map[int]map[uint32]netsim.ASN{
-		16: {maskedKey(netip.MustParseAddr("10.1.0.0"), 16): 100},
-		24: {maskedKey(netip.MustParseAddr("10.1.2.0"), 24): 200},
-	}, lengths: []int{24, 16}, size: 2}
+	// A table with nested prefixes to verify LPM semantics.
+	table, err := NewTable(map[netip.Prefix]netsim.ASN{
+		netip.MustParsePrefix("10.1.0.0/16"): 100,
+		netip.MustParsePrefix("10.1.2.0/24"): 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if as, ok := table.Lookup(netip.MustParseAddr("10.1.2.7")); !ok || as != 200 {
 		t.Errorf("Lookup(10.1.2.7) = %v,%v; want 200 (the /24)", as, ok)
 	}
 	if as, ok := table.Lookup(netip.MustParseAddr("10.1.9.7")); !ok || as != 100 {
 		t.Errorf("Lookup(10.1.9.7) = %v,%v; want 100 (the /16)", as, ok)
+	}
+}
+
+func TestLookupPrefixReturnsMatch(t *testing.T) {
+	table, err := NewTable(map[netip.Prefix]netsim.ASN{
+		netip.MustParsePrefix("10.1.0.0/16"): 100,
+		netip.MustParsePrefix("10.1.2.0/24"): 200,
+		netip.MustParsePrefix("0.0.0.0/0"):   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr string
+		pfx  string
+		as   netsim.ASN
+	}{
+		{"10.1.2.7", "10.1.2.0/24", 200},
+		{"10.1.9.7", "10.1.0.0/16", 100},
+		{"192.0.2.1", "0.0.0.0/0", 7},
+	}
+	for _, c := range cases {
+		pfx, as, ok := table.LookupPrefix(netip.MustParseAddr(c.addr))
+		if !ok || pfx.String() != c.pfx || as != c.as {
+			t.Errorf("LookupPrefix(%s) = %v, AS%d, %v; want %s, AS%d", c.addr, pfx, as, ok, c.pfx, c.as)
+		}
+	}
+	if _, _, ok := table.LookupPrefix(netip.MustParseAddr("2001:db8::1")); ok {
+		t.Error("IPv6 address should miss")
+	}
+}
+
+func TestKeyFuncDeclinesNonAddresses(t *testing.T) {
+	table, err := NewTable(map[netip.Prefix]netsim.ASN{
+		netip.MustParsePrefix("10.1.0.0/16"): 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyOf := table.KeyFunc()
+	if key, ok := keyOf("10.1.2.7"); !ok || key != "10.1.0.0/16" {
+		t.Errorf("KeyFunc(10.1.2.7) = %q,%v; want 10.1.0.0/16", key, ok)
+	}
+	if _, ok := keyOf("candidate-007"); ok {
+		t.Error("symbolic node ID should be declined")
+	}
+	if _, ok := keyOf("192.0.2.1"); ok {
+		t.Error("address outside the table should be declined")
 	}
 }
 

@@ -1,0 +1,129 @@
+package asn
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// refTable is the original map-of-maps lookup structure, preserved here as
+// the reference implementation for the parity property test: the flat
+// sorted-array Table must agree with it on every lookup, bit for bit. (The
+// rewrite exists because walking a map per distinct prefix length per call
+// is too slow for the aggregation plane's per-probe hot path.)
+type refTable struct {
+	byLen   map[int]map[uint32]netsim.ASN
+	lengths []int // descending
+}
+
+func newRefTable(routes map[netip.Prefix]netsim.ASN) *refTable {
+	t := &refTable{byLen: make(map[int]map[uint32]netsim.ASN)}
+	for pfx, as := range routes {
+		bits := pfx.Bits()
+		m, ok := t.byLen[bits]
+		if !ok {
+			m = make(map[uint32]netsim.ASN)
+			t.byLen[bits] = m
+			// Insert the new length keeping the slice descending.
+			pos := 0
+			for pos < len(t.lengths) && t.lengths[pos] > bits {
+				pos++
+			}
+			t.lengths = append(t.lengths, 0)
+			copy(t.lengths[pos+1:], t.lengths[pos:])
+			t.lengths[pos] = bits
+		}
+		m[maskedKey(pfx.Addr(), bits)] = as
+	}
+	return t
+}
+
+func (t *refTable) lookup(addr netip.Addr) (netsim.ASN, bool) {
+	if !addr.Is4() {
+		return 0, false
+	}
+	for _, bits := range t.lengths {
+		if as, ok := t.byLen[bits][maskedKey(addr, bits)]; ok {
+			return as, true
+		}
+	}
+	return 0, false
+}
+
+// randomRoutes generates a routing table with nested and adjacent prefixes
+// across many lengths, including the odd non-octet-aligned ones real BGP
+// tables are full of.
+func randomRoutes(rng *rand.Rand, n int) map[netip.Prefix]netsim.ASN {
+	routes := make(map[netip.Prefix]netsim.ASN, n)
+	for len(routes) < n {
+		bits := 4 + rng.Intn(29) // 4..32
+		v := rng.Uint32()
+		if bits < 32 {
+			v &^= 1<<(32-bits) - 1
+		}
+		a := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+		routes[netip.PrefixFrom(a, bits)] = netsim.ASN(1 + rng.Intn(5000))
+	}
+	return routes
+}
+
+// TestLookupParityWithReference pins the flat Table to the reference
+// map-of-maps implementation: on random tables, for addresses drawn both
+// uniformly and deliberately near prefix boundaries, every (ASN, ok) pair
+// must match exactly.
+func TestLookupParityWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 20; round++ {
+		routes := randomRoutes(rng, 1+rng.Intn(300))
+		flat, err := NewTable(routes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRefTable(routes)
+
+		check := func(addr netip.Addr) {
+			t.Helper()
+			wantAS, wantOK := ref.lookup(addr)
+			gotAS, gotOK := flat.Lookup(addr)
+			if gotAS != wantAS || gotOK != wantOK {
+				t.Fatalf("round %d: Lookup(%v) = AS%d,%v; reference says AS%d,%v",
+					round, addr, gotAS, gotOK, wantAS, wantOK)
+			}
+			// LookupPrefix must agree with Lookup and return a prefix that
+			// actually covers the address and exists in the table.
+			pfx, pAS, pOK := flat.LookupPrefix(addr)
+			if pOK != wantOK || pAS != wantAS {
+				t.Fatalf("round %d: LookupPrefix(%v) = AS%d,%v; want AS%d,%v",
+					round, addr, pAS, pOK, wantAS, wantOK)
+			}
+			if pOK {
+				if !pfx.Contains(addr) {
+					t.Fatalf("round %d: LookupPrefix(%v) returned non-covering %v", round, addr, pfx)
+				}
+				if _, exists := routes[pfx]; !exists {
+					t.Fatalf("round %d: LookupPrefix(%v) returned %v, not a table entry", round, addr, pfx)
+				}
+			}
+		}
+
+		// Uniform addresses: mostly misses plus the occasional hit.
+		for i := 0; i < 200; i++ {
+			v := rng.Uint32()
+			check(netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}))
+		}
+		// Boundary addresses: the base, last and one-past-the-end of every
+		// prefix, where off-by-one masking bugs live.
+		for pfx := range routes {
+			base := maskedKey(pfx.Addr(), pfx.Bits())
+			span := uint32(0)
+			if pfx.Bits() < 32 {
+				span = 1<<(32-pfx.Bits()) - 1
+			}
+			for _, v := range []uint32{base, base + span, base + span + 1, base - 1} {
+				check(netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}))
+			}
+		}
+	}
+}

@@ -571,7 +571,16 @@ func (p *Peering) Tick(now time.Time) {
 			p.digestBytes.add(uint64(n))
 		}
 	}
-	if n := p.svc.GCTombstones(now.Add(-p.cfg.TombstoneGC)); n > 0 {
+	// The GC horizon is anchored on the engine's injected clock, NOT the
+	// caller-supplied now. Tombstone deletion times are stamped by the
+	// store's clock (Config.Now via Service.SetClock), so the horizon must
+	// come from the same timeline: a caller passing wall time to a
+	// virtual-clocked engine — easy to do from a test or a driver loop —
+	// would otherwise compute a horizon epochs ahead of the virtual
+	// timestamps and silently GC live tombstones, un-replicating forgets.
+	// The now parameter still drives the gossip round itself (rumor and
+	// digest scheduling), where both timelines only affect pacing.
+	if n := p.svc.GCTombstones(p.now().Add(-p.cfg.TombstoneGC)); n > 0 {
 		p.gced.add(uint64(n))
 	}
 }
