@@ -19,8 +19,12 @@ test:
 # gossip-link packet loss), then the aggregation scale bench
 # (BENCH_scale.json: million-client ingest with prefix aggregation on/off x
 # prefix granularity — state reduction, closest-node rank delta vs the
-# per-client baseline, query p99 under concurrent ingest). All reports embed
-# provenance metadata (seed, host width, go version, scale knobs).
+# per-client baseline, query p99 under concurrent ingest), then the
+# multi-CDN fusion bench (BENCH_fusion.json: fused vs single-CDN
+# closest-node rank and SMF quality across replica-density x
+# coverage-sparsity cells, with the 1-namespace bit-identity gate). All
+# reports embed provenance metadata (seed, host width, go version, scale
+# knobs).
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 	$(GO) run ./cmd/crpbench -exp crpd -quick -out BENCH_crpd.json
@@ -28,6 +32,7 @@ bench:
 	$(GO) run ./cmd/crpbench -exp faults -out BENCH_faults.json
 	$(GO) run ./cmd/crpbench -exp gossip -out BENCH_gossip.json
 	$(GO) run ./cmd/crpbench -exp scale -out BENCH_scale.json
+	$(GO) run ./cmd/crpbench -exp fusion -out BENCH_fusion.json
 
 # test-faults runs the fault-injection degradation suite (clean-vs-faulted
 # accuracy envelopes per fault class, activation-counter assertions,

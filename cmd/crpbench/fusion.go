@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// fusionReport is the BENCH_fusion.json shape. Every field is deterministic
+// in the seed — no timings — so same-seed reruns byte-compare, which CI
+// exploits as a determinism gate.
+type fusionReport struct {
+	Meta benchMeta `json:"meta"`
+	// IdentityOK records the back-compat pin: a 1-namespace service answers
+	// bit-identically with fusion on or off (maps, rankings, snapshot bytes,
+	// shard digests). The run fails before writing the report if it doesn't.
+	IdentityOK bool                    `json:"identity_ok"`
+	Cells      []experiment.FusionCell `json:"cells"`
+	Params     experiment.FusionParams `json:"params"`
+}
+
+// runFusion evaluates fused multi-CDN positioning against the single-CDN
+// paths (-exp fusion). The run self-gates: in every sparse-coverage cell the
+// fused kernel must beat the best single CDN on mean closest-node rank, and
+// the single-namespace configuration must stay bit-identical to the
+// pre-fusion path.
+func runFusion(quick bool, seed int64, out string) error {
+	params := experiment.DefaultFusionParams()
+	params.Seed = seed
+	idClients, idCands, idReplicas, idProbes := 60, 60, 300, 12
+	if quick {
+		params.NumClients = 40
+		params.NumCandidates = 60
+		params.NumReplicas = 240
+		params.RichProbes = 18
+		params.SparseProbes = 6
+		idClients, idCands, idReplicas, idProbes = 25, 30, 150, 6
+	}
+
+	fmt.Printf("fusion: %d clients, %d candidates, %d replicas, seed %d\n",
+		params.NumClients, params.NumCandidates, params.NumReplicas, params.Seed)
+	start := time.Now()
+
+	fmt.Println("checking 1-namespace fusion identity...")
+	if err := experiment.FusionIdentityCheck(seed, idClients, idCands, idReplicas, idProbes); err != nil {
+		return fmt.Errorf("fusion: back-compat identity gate failed: %w", err)
+	}
+	fmt.Println("identity gate passed: fusion-enabled 1-namespace service is bit-identical")
+
+	outcome, err := experiment.RunFusion(params)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(experiment.RenderFusion(outcome))
+	fmt.Println()
+
+	// Accuracy gate: where per-CDN signal is thinnest (the sparse-coverage
+	// cells), fusing both CDNs must outrank the best single CDN.
+	for _, c := range outcome.Cells {
+		if c.Coverage != "sparse" {
+			continue
+		}
+		if c.MeanRankFused >= c.MeanRankBestSingle {
+			return fmt.Errorf("fusion: gate failed in %s/%s cell: fused mean rank %.3f is not better than best single (%s) %.3f",
+				c.Density, c.Coverage, c.MeanRankFused, c.BestSingleNS, c.MeanRankBestSingle)
+		}
+		fmt.Printf("gate: %s/%s fused %.2f beats best single %s %.2f\n",
+			c.Density, c.Coverage, c.MeanRankFused, c.BestSingleNS, c.MeanRankBestSingle)
+	}
+
+	report := fusionReport{
+		Meta: newBenchMeta("fusion", seed, quick, map[string]int64{
+			"clients":       int64(params.NumClients),
+			"candidates":    int64(params.NumCandidates),
+			"replicas":      int64(params.NumReplicas),
+			"rich_probes":   int64(params.RichProbes),
+			"sparse_probes": int64(params.SparseProbes),
+		}),
+		IdentityOK: true,
+		Cells:      outcome.Cells,
+		Params:     outcome.Params,
+	}
+	if err := writeReport(out, report); err != nil {
+		return err
+	}
+	dumpObs("fusion experiment")
+	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

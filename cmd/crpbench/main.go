@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations|kernels|crpd|churn|faults|gossip|scale] [-quick] [-seed N] [-nodes N] [-out FILE] [-det-out FILE]
+//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations|kernels|crpd|churn|faults|gossip|scale|fusion] [-quick] [-seed N] [-nodes N] [-out FILE] [-det-out FILE]
 //
 // The kernels, crpd, churn and faults experiments are not from the paper:
 // kernels compares the map-based similarity path (Dot + two Norms per pair)
@@ -22,8 +22,13 @@
 // population with prefix aggregation on and off, reporting state reduction,
 // closest-node rank deltas versus the per-client baseline, and query p99
 // under concurrent ingest (-det-out additionally writes the
-// timing-independent slice of the report for determinism checks). All six
-// write their report JSON (with provenance metadata) to -out.
+// timing-independent slice of the report for determinism checks); fusion
+// runs the multi-CDN evaluation — a two-member cdn.Fleet redirects the same
+// population, and the fused similarity kernel is scored against each
+// single-CDN path on closest-node rank and SMF clustering quality across
+// replica-density and coverage-sparsity cells, with a built-in gate that the
+// 1-namespace configuration stays bit-identical to the pre-fusion path. All
+// seven write their report JSON (with provenance metadata) to -out.
 //
 // Every experiment dumps the process-wide obs metrics snapshot when it
 // finishes, so each run leaves instrumentation data alongside its tables.
@@ -51,7 +56,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("crpbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations, kernels, crpd, churn, faults, gossip, scale")
+	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations, kernels, crpd, churn, faults, gossip, scale, fusion")
 	quick := fs.Bool("quick", false, "run a reduced-scale configuration")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	nodes := fs.Int("nodes", 0, "override the churn experiment's node count (0 = default scale)")
@@ -80,6 +85,9 @@ func run(args []string) error {
 	}
 	if *exp == "scale" {
 		return runScale(*quick, *seed, *out, *detOut)
+	}
+	if *exp == "fusion" {
+		return runFusion(*quick, *seed, *out)
 	}
 
 	params := experiment.DefaultScenarioParams()
@@ -212,7 +220,7 @@ func run(args []string) error {
 	}
 
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of: all fig4 fig5 table1 fig6 fig7 fig8 fig9 repair sec6 ablations kernels crpd churn faults gossip scale)", *exp)
+		return fmt.Errorf("unknown experiment %q (want one of: all fig4 fig5 table1 fig6 fig7 fig8 fig9 repair sec6 ablations kernels crpd churn faults gossip scale fusion)", *exp)
 	}
 	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

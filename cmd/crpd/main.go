@@ -10,7 +10,7 @@
 //	crpd [-listen 127.0.0.1:5353] [-window 10] [-state FILE]
 //	     [-cheap-workers N] [-heavy-workers N] [-queue N] [-timeout 5s]
 //	     [-gossip-listen ADDR] [-peers ADDR,ADDR] [-gossip-interval 1s]
-//	     [-daemon-id ID] [-aggregate BITS]
+//	     [-daemon-id ID] [-aggregate BITS] [-fusion] [-fusion-weights NS=W,..]
 //
 // Request shapes:
 //
@@ -46,6 +46,18 @@
 // op reports group count, fallback ratio and a state-size proxy under
 // crp.aggregate.*. Aggregated clients live outside the sharded store, so
 // they are neither gossiped to peers nor written to -state snapshots.
+//
+// With -fusion set, the daemon runs the fused multi-CDN similarity kernel:
+// replica IDs of the form "ns!replica" carry their CDN namespace, and every
+// similarity/closest/clustering answer mixes per-CDN cosines under coverage
+// weighting (optionally scaled per namespace with -fusion-weights
+// "cdnA=1,cdnB=0.5"). Queries can also scope to one CDN with "ns":
+//
+//	{"op":"closest","client":"n1","k":2,"ns":"cdnA"}
+//
+// A daemon whose replicas carry no namespaces answers identically with
+// -fusion on or off, so the flag is safe to enable ahead of multi-CDN
+// traffic.
 package main
 
 import (
@@ -87,6 +99,8 @@ func run(args []string) error {
 	gossipCodec := flags.String("gossip-codec", "", `gossip wire codec: "" or "binary" negotiates the compact binary codec, "json" pins the JSON fallback (for meshes with non-upgraded daemons)`)
 	daemonID := flags.String("daemon-id", "", "this daemon's mesh identity (default: the gossip listen address)")
 	aggregate := flags.Int("aggregate", 0, "aggregate IPv4 clients by /BITS prefix instead of per-client trackers (0 = off)")
+	fusion := flags.Bool("fusion", false, "enable the fused multi-CDN similarity kernel (namespaced replica IDs: \"ns!replica\")")
+	fusionWeights := flags.String("fusion-weights", "", `per-namespace fusion weights, e.g. "cdnA=1,cdnB=0.5" (requires -fusion)`)
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
@@ -101,7 +115,21 @@ func run(args []string) error {
 	if *window > 0 {
 		opts = append(opts, crp.WithWindow(*window))
 	}
+	if *fusionWeights != "" && !*fusion {
+		return errors.New("-fusion-weights requires -fusion")
+	}
+
 	svc := crp.NewService(opts...)
+	if *fusion {
+		weights, err := parseFusionWeights(*fusionWeights)
+		if err != nil {
+			return err
+		}
+		if err := svc.EnableFusion(crp.FusionConfig{Weights: weights}); err != nil {
+			return err
+		}
+		fmt.Println("crpd fusing multi-CDN signals")
+	}
 	if *aggregate > 0 {
 		if err := svc.EnableAggregation(crp.AggregatorConfig{KeyOf: crp.PrefixKeyFunc(*aggregate)}); err != nil {
 			return err
@@ -190,6 +218,33 @@ func run(args []string) error {
 		}
 	}
 	return d.Close()
+}
+
+// parseFusionWeights parses the "ns=weight,ns=weight" flag form.
+func parseFusionWeights(s string) (map[crp.Namespace]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[crp.Namespace]float64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ns, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-fusion-weights: %q is not ns=weight", part)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(w, "%g", &v); err != nil {
+			return nil, fmt.Errorf("-fusion-weights: bad weight %q: %v", w, err)
+		}
+		if err := crp.Namespace(ns).Valid(); err != nil {
+			return nil, fmt.Errorf("-fusion-weights: %v", err)
+		}
+		out[crp.Namespace(ns)] = v
+	}
+	return out, nil
 }
 
 func loadState(svc *crp.Service, path string) error {

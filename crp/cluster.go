@@ -127,6 +127,12 @@ func clusterSMF(nodes []Node, cfg ClusterConfig, sim func(a, b NodeID) float64) 
 // caller guarantees unique, non-empty IDs — the store's invariant. The
 // input slice is reordered in place.
 func clusterVecs(vecs []nodeVec, cfg ClusterConfig) ([]Cluster, error) {
+	return clusterVecsSim(vecs, cfg, plainCosine)
+}
+
+// clusterVecsSim is clusterVecs with an explicit vector-similarity kernel —
+// the seam a fusion-enabled Service routes its SMF queries through.
+func clusterVecsSim(vecs []nodeVec, cfg ClusterConfig, sim simFunc) ([]Cluster, error) {
 	if cfg.Threshold < 0 || cfg.Threshold > 1 {
 		return nil, fmt.Errorf("crp: threshold %v outside [0,1]", cfg.Threshold)
 	}
@@ -142,8 +148,8 @@ func clusterVecs(vecs []nodeVec, cfg ClusterConfig) ([]Cluster, error) {
 		d.domR[i], d.domF[i] = dominantVec(nv.vec)
 		byID[nv.id] = nv.vec
 	}
-	d.sim = func(a, b NodeID) float64 { return byID[a].cosine(byID[b]) }
-	d.simIdx = func(i, j int) float64 { return vecs[i].vec.cosine(vecs[j].vec) }
+	d.sim = func(a, b NodeID) float64 { return sim(byID[a], byID[b]) }
+	d.simIdx = func(i, j int) float64 { return sim(vecs[i].vec, vecs[j].vec) }
 	return clusterCore(d, cfg), nil
 }
 

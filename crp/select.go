@@ -75,6 +75,15 @@ func rankVecs(client ratioVec, cands []nodeVec) []Scored {
 // similarities live on [0, 1], so any negative sentinel is unambiguous.
 const simExcluded = -1.0
 
+// simFunc scores a client vector against a candidate vector. The query
+// surface is parameterized over it so a fusion-enabled Service can swap the
+// plain cosine for the fused multi-CDN kernel without forking the selection
+// and clustering machinery; plainCosine is the default.
+type simFunc = func(client, cand ratioVec) float64
+
+// plainCosine is ratioVec.cosine as a simFunc.
+var plainCosine simFunc = ratioVec.cosine
+
 // scoredScratch recycles the O(N) scoring buffers behind topVecs and
 // topSnap. A Top-K query writes one Scored per candidate and keeps only k of
 // them; at service scale that is megabytes of garbage per query, and under a
@@ -97,7 +106,7 @@ func getScoredScratch(n int) *[]Scored {
 // O(n log n), the difference between a Top-5 query and a full ranking at
 // service scale. Candidates whose id equals exclude are skipped. The result
 // is ordered and deterministic (same total order as rankVecs).
-func topVecs(client ratioVec, cands []nodeVec, k int, exclude NodeID) []Scored {
+func topVecs(client ratioVec, cands []nodeVec, k int, exclude NodeID, sim simFunc) []Scored {
 	if k <= 0 {
 		return nil
 	}
@@ -109,7 +118,7 @@ func topVecs(client ratioVec, cands []nodeVec, k int, exclude NodeID) []Scored {
 			scored[i] = Scored{Node: cands[i].id, Similarity: simExcluded}
 			return
 		}
-		scored[i] = Scored{Node: cands[i].id, Similarity: client.cosine(cands[i].vec)}
+		scored[i] = Scored{Node: cands[i].id, Similarity: sim(client, cands[i].vec)}
 	})
 	return selectTop(scored, k)
 }
@@ -120,7 +129,7 @@ func topVecs(client ratioVec, cands []nodeVec, k int, exclude NodeID) []Scored {
 // unique across parts (shards partition the node space) and selection runs
 // on the same total order as topVecs, so the result is deterministic
 // regardless of how the parts are laid out.
-func topSnap(client ratioVec, snap storeSnap, k int, exclude NodeID) []Scored {
+func topSnap(client ratioVec, snap storeSnap, k int, exclude NodeID, sim simFunc) []Scored {
 	if k <= 0 || snap.total == 0 {
 		return nil
 	}
@@ -142,7 +151,7 @@ func topSnap(client ratioVec, snap storeSnap, k int, exclude NodeID) []Scored {
 			scored[i] = Scored{Node: nv.id, Similarity: simExcluded}
 			return
 		}
-		scored[i] = Scored{Node: nv.id, Similarity: client.cosine(nv.vec)}
+		scored[i] = Scored{Node: nv.id, Similarity: sim(client, nv.vec)}
 	})
 	return selectTop(scored, k)
 }

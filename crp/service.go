@@ -55,6 +55,14 @@ type Service struct {
 	// queries resolve per-client state first, then the aggregate. Set once by
 	// EnableAggregation before the service takes traffic.
 	agg *aggregator
+	// fus, when non-nil, is the fused multi-CDN similarity kernel
+	// (namespace.go): every similarity the query surface computes mixes
+	// per-namespace cosines by coverage weight instead of running one cosine
+	// across namespaces. Set once by EnableFusion before the service takes
+	// traffic.
+	fus *fusionKernel
+	// nsObs tracks per-namespace observe volume when fusion is enabled.
+	nsObs *nsObserves
 }
 
 // ErrUnknownNode is returned for queries about nodes the service has no
@@ -112,8 +120,42 @@ func (s *Service) Observe(node NodeID, at time.Time, replicas ...ReplicaID) erro
 	}
 	s.store.observe(node, func(t *Tracker) { t.Observe(at, replicas...) })
 	svcMetrics.observes.Inc()
+	s.nsObs.bump(replicas)
 	return nil
 }
+
+// simFn returns the vector-similarity kernel the query surface runs on:
+// the fused multi-CDN kernel when fusion is enabled, the plain cosine
+// otherwise.
+func (s *Service) simFn() simFunc {
+	if s.fus != nil {
+		return s.fus.cosine
+	}
+	return plainCosine
+}
+
+// EnableFusion installs the fused multi-CDN similarity kernel: Similarity,
+// ClosestTo, TopK and the SMF clustering queries score node pairs by mixing
+// per-namespace cosines under coverage weighting (see FusionConfig) instead
+// of one cosine across all namespaces. Call it once, before the service
+// takes traffic. A service holding only one namespace answers every query
+// bit-identically with fusion on or off — the multi-CDN path is strictly
+// additive.
+func (s *Service) EnableFusion(cfg FusionConfig) error {
+	if s.fus != nil {
+		return errors.New("crp: fusion already enabled")
+	}
+	k, err := newFusionKernel(cfg)
+	if err != nil {
+		return err
+	}
+	s.fus = k
+	s.nsObs = newNSObserves()
+	return nil
+}
+
+// FusionEnabled reports whether the fused similarity kernel is installed.
+func (s *Service) FusionEnabled() bool { return s.fus != nil }
 
 // Forget removes a node and its history.
 func (s *Service) Forget(node NodeID) {
@@ -163,7 +205,7 @@ func (s *Service) Similarity(a, b NodeID) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return va.cosine(vb), nil
+	return s.simFn()(va, vb), nil
 }
 
 // clientVec returns the compiled ratio vector of one known node. Per-client
@@ -245,14 +287,14 @@ func (s *Service) ClosestTo(client NodeID, candidates []NodeID) (Scored, bool, e
 		return Scored{}, false, err
 	}
 	if candidates == nil {
-		best, ok := bestOf(topSnap(cv, s.store.snapshot(), 1, client))
+		best, ok := bestOf(topSnap(cv, s.store.snapshot(), 1, client, s.simFn()))
 		return best, ok, nil
 	}
 	cands, err := s.candidateVecs(candidates)
 	if err != nil {
 		return Scored{}, false, err
 	}
-	best, ok := bestOf(topVecs(cv, cands, 1, client))
+	best, ok := bestOf(topVecs(cv, cands, 1, client, s.simFn()))
 	return best, ok, nil
 }
 
@@ -269,13 +311,13 @@ func (s *Service) TopK(client NodeID, candidates []NodeID, k int) ([]Scored, err
 		return nil, err
 	}
 	if candidates == nil {
-		return topSnap(cv, s.store.snapshot(), k, client), nil
+		return topSnap(cv, s.store.snapshot(), k, client, s.simFn()), nil
 	}
 	cands, err := s.candidateVecs(candidates)
 	if err != nil {
 		return nil, err
 	}
-	return topVecs(cv, cands, k, client), nil
+	return topVecs(cv, cands, k, client, s.simFn()), nil
 }
 
 // ClusterAll clusters every known node with SMF at the given threshold
@@ -285,7 +327,7 @@ func (s *Service) TopK(client NodeID, candidates []NodeID, k int) ([]Scored, err
 func (s *Service) ClusterAll(cfg ClusterConfig) ([]Cluster, error) {
 	defer timeCluster()()
 	svcMetrics.clusterQueries.Inc()
-	return clusterVecs(s.store.snapshot().flatten(), cfg)
+	return clusterVecsSim(s.store.snapshot().flatten(), cfg, s.simFn())
 }
 
 // SameCluster returns the other members of node's cluster under SMF at the
@@ -329,7 +371,7 @@ func (s *Service) SameCluster(node NodeID, cfg ClusterConfig) ([]NodeID, error) 
 // tracked nodes means no assignment — an empty result, like a tracked
 // singleton's.
 func (s *Service) sameClusterVia(node NodeID, v ratioVec, cfg ClusterConfig) ([]NodeID, error) {
-	best, ok := bestOf(topSnap(v, s.store.snapshot(), 1, node))
+	best, ok := bestOf(topSnap(v, s.store.snapshot(), 1, node, s.simFn()))
 	if !ok {
 		return nil, nil
 	}

@@ -276,6 +276,42 @@ func (st *store) observe(node NodeID, tr func(*Tracker)) {
 	}
 }
 
+// mutate runs fn against node's existing tracker and, when fn reports it
+// changed something, publishes the mutation exactly like observe: dirty mark
+// and metadata stamp under the shard lock, then the version bumps and the
+// mutation hook. Unlike observe it never creates a tracker — a mutation of
+// an unknown node is a no-op — and a no-change fn leaves every version
+// untouched, so idempotent re-application (a replayed namespaced forget)
+// does not churn snapshots or gossip. Returns whether a mutation was
+// published.
+func (st *store) mutate(node NodeID, fn func(*Tracker) bool) bool {
+	sh := st.shardFor(node)
+	sh.mu.RLock()
+	t, ok := sh.trackers[node]
+	sh.mu.RUnlock()
+	if !ok {
+		return false
+	}
+
+	if !fn(t) {
+		return false
+	}
+
+	sh.mu.Lock()
+	sh.dirty[node] = struct{}{}
+	m := sh.meta[node]
+	m.origin, m.version = st.origin, m.version+1
+	m.deleted, m.deletedAt = false, time.Time{}
+	sh.meta[node] = m
+	sh.mu.Unlock()
+	sh.version.Add(1)
+	st.version.Add(1)
+	if st.onMutate != nil {
+		st.onMutate(node)
+	}
+	return true
+}
+
 // forget removes a node, leaving a deletion tombstone so the forget can
 // propagate to gossip peers before the GC horizon reclaims it. Like the
 // pre-sharding design, the versions bump even when the node was unknown, so

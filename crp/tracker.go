@@ -195,6 +195,40 @@ func (t *Tracker) LastProbe() (time.Time, bool) {
 	return newest, true
 }
 
+// DropNamespace removes every replica belonging to namespace ns from the
+// probe window, discarding probes left empty, and reports whether anything
+// was removed. Sibling namespaces' probes are untouched — this is the
+// tracker half of a namespaced forget: one CDN's history is withdrawn (say,
+// after a remapping event invalidated it) without resetting the node.
+func (t *Tracker) DropNamespace(ns Namespace) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	changed := false
+	kept := t.probes[:0]
+	for _, p := range t.probes {
+		keptReplicas := p.replicas[:0]
+		for _, r := range p.replicas {
+			if NamespaceOf(r) == ns {
+				changed = true
+				continue
+			}
+			keptReplicas = append(keptReplicas, r)
+		}
+		p.replicas = keptReplicas
+		if len(p.replicas) > 0 {
+			kept = append(kept, p)
+		}
+	}
+	if n := len(kept); n < len(t.probes) {
+		clear(t.probes[n:])
+	}
+	t.probes = kept
+	if changed {
+		t.dirty = true
+	}
+	return changed
+}
+
 // Reset discards all recorded probes.
 func (t *Tracker) Reset() {
 	t.mu.Lock()

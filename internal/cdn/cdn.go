@@ -44,6 +44,7 @@ const (
 	domainMonitor
 	domainSlowLoad
 	domainSpread
+	domainSubset
 )
 
 // slowLoadBucket is the timescale of capacity/traffic shifts: replica
@@ -96,6 +97,28 @@ type Config struct {
 	// modelling Akamai's distant "owned-domain" fallback answers that the
 	// paper suggests filtering out. Defaults to DefaultFallbackMs.
 	FallbackThresholdMs float64
+
+	// Namespace names this CDN when several run over one topology (see
+	// Fleet). It doubles as the default seed-domain salt, so two CDNs with
+	// otherwise identical configs produce independent deployments, mapping
+	// noise and load processes. Empty is the legacy single-CDN identity and
+	// changes nothing.
+	Namespace string
+	// SeedSalt, when non-zero, explicitly salts this CDN's hash-noise seed
+	// instead of the Namespace-derived default.
+	SeedSalt uint64
+	// ReplicaFraction deploys this CDN on a deterministic subset of the
+	// topology's replica hosts: each host joins with this probability
+	// (seeded by the CDN's salted seed, so different CDNs draw different
+	// subsets). 0 or 1 deploys on every host — the legacy behavior. This is
+	// the replica-density axis of the fusion evaluation: a sparse CDN has
+	// systematically coarser redirection signal (Hillmann-style mirror
+	// placement differences).
+	ReplicaFraction float64
+	// LoadScale multiplies the mapping system's modeled per-replica load
+	// (jitter, drift and overload shifts), so CDNs can differ in how noisy
+	// their redirection policy is. 0 means 1 (unscaled).
+	LoadScale float64
 }
 
 // ErrUnknownName is returned for lookups of names the CDN does not serve.
@@ -103,9 +126,10 @@ var ErrUnknownName = errors.New("cdn: name not served by this CDN")
 
 // Network is a simulated CDN. It is safe for concurrent use.
 type Network struct {
-	cfg  Config
-	topo *netsim.Topology
-	seed uint64
+	cfg       Config
+	topo      *netsim.Topology
+	seed      uint64
+	loadScale float64
 
 	names    []string
 	nameIdx  map[string]int
@@ -179,20 +203,52 @@ func New(cfg Config) (*Network, error) {
 	if cfg.FallbackThresholdMs <= 0 {
 		cfg.FallbackThresholdMs = DefaultFallbackMs
 	}
+	if cfg.ReplicaFraction < 0 || cfg.ReplicaFraction > 1 {
+		return nil, fmt.Errorf("cdn: ReplicaFraction %v outside [0,1]", cfg.ReplicaFraction)
+	}
+	if cfg.LoadScale < 0 {
+		return nil, fmt.Errorf("cdn: negative LoadScale %v", cfg.LoadScale)
+	}
+
+	// The hash-noise seed: the topology seed, salted per CDN so independent
+	// networks over one topology draw independent deployments, measurements
+	// and load processes. An unsalted config (the single-CDN legacy shape)
+	// keeps the bare topology seed, bit for bit.
+	seed := uint64(cfg.Topo.Seed())
+	switch {
+	case cfg.SeedSalt != 0:
+		seed ^= cfg.SeedSalt
+	case cfg.Namespace != "":
+		seed ^= fnv64str(cfg.Namespace)
+	}
+
 	replicas := cfg.Topo.Replicas()
+	if f := cfg.ReplicaFraction; f > 0 && f < 1 {
+		kept := make([]netsim.HostID, 0, len(replicas))
+		for _, id := range replicas {
+			if netsim.UnitAt(seed, domainSubset, uint64(id)) < f {
+				kept = append(kept, id)
+			}
+		}
+		replicas = kept
+	}
 	if len(replicas) == 0 {
-		return nil, errors.New("cdn: topology has no replica hosts")
+		return nil, errors.New("cdn: topology has no replica hosts (after ReplicaFraction subsetting)")
 	}
 
 	n := &Network{
 		cfg:       cfg,
 		topo:      cfg.Topo,
-		seed:      uint64(cfg.Topo.Seed()),
+		seed:      seed,
+		loadScale: cfg.LoadScale,
 		names:     append([]string(nil), cfg.Names...),
 		nameIdx:   make(map[string]int, len(cfg.Names)+len(cfg.GlobalNames)),
 		isGlobal:  make(map[string]bool, len(cfg.GlobalNames)),
 		replicas:  replicas,
 		neighbors: make(map[netsim.HostID][]netsim.HostID),
+	}
+	if n.loadScale == 0 {
+		n.loadScale = 1
 	}
 	for _, g := range cfg.GlobalNames {
 		n.names = append(n.names, g)
@@ -271,6 +327,24 @@ func (n *Network) replicaIndex(id netsim.HostID) int {
 		}
 	}
 	return -1
+}
+
+// Namespace returns the CDN's namespace ("" for the legacy single-CDN
+// identity).
+func (n *Network) Namespace() string { return n.cfg.Namespace }
+
+// fnv64str is FNV-1a over a string, the Namespace-derived seed salt.
+func fnv64str(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
 }
 
 // Names returns the CDN-accelerated names.
@@ -359,7 +433,7 @@ func (n *Network) loadMs(replica netsim.HostID, epoch uint64, at time.Duration) 
 	if netsim.UnitAt(n.seed, domainOverload, uint64(replica), epoch) < 0.05 {
 		base += 30 + netsim.UnitAt(n.seed, domainOverload+1, uint64(replica), epoch)*50
 	}
-	return base
+	return base * n.loadScale
 }
 
 // Redirect returns the replica servers (AnswerCount of them, best first) the

@@ -1,0 +1,117 @@
+package cdn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"unicode/utf8"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+)
+
+// Fleet coordinates N independent CDN networks over one topology — the
+// multi-CDN substrate. Each member is an ordinary Network with its own
+// namespace, seed domain, replica deployment, TTL, epoch length and noise
+// profile; the fleet only owns the namespace directory, so everything a
+// single Network supports (including the MapHook fault seam) works
+// per-member, addressed by namespace: freezing CDN A's mapping leaves CDN B
+// flapping on its own schedule.
+type Fleet struct {
+	members []*Network
+	byNS    map[string]*Network
+}
+
+// NewFleet builds one Network per config, all over topo. Member configs may
+// leave Topo nil (topo is filled in); a non-nil Topo must be topo itself.
+// Namespaces must be distinct, and with more than one member every
+// namespace must be non-empty — the empty namespace is the single-CDN
+// identity and cannot coexist with siblings. Each member's replica
+// deployment size is exported as the gauge cdn.ns.NNN.replicas (NNN = the
+// member's index), a family obs.SummarizeGaugeFamily can fold.
+func NewFleet(topo *netsim.Topology, cfgs []Config) (*Fleet, error) {
+	if topo == nil {
+		return nil, errors.New("cdn: NewFleet requires a topology")
+	}
+	if len(cfgs) == 0 {
+		return nil, errors.New("cdn: NewFleet requires at least one member config")
+	}
+	f := &Fleet{byNS: make(map[string]*Network, len(cfgs))}
+	for i, cfg := range cfgs {
+		if cfg.Topo == nil {
+			cfg.Topo = topo
+		} else if cfg.Topo != topo {
+			return nil, fmt.Errorf("cdn: fleet member %d has a different topology", i)
+		}
+		if err := validNamespace(cfg.Namespace); err != nil {
+			return nil, fmt.Errorf("cdn: fleet member %d: %w", i, err)
+		}
+		if len(cfgs) > 1 && cfg.Namespace == "" {
+			return nil, fmt.Errorf("cdn: fleet member %d has an empty namespace; a multi-CDN fleet needs every member named", i)
+		}
+		if _, dup := f.byNS[cfg.Namespace]; dup {
+			return nil, fmt.Errorf("cdn: duplicate fleet namespace %q", cfg.Namespace)
+		}
+		n, err := New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cdn: fleet member %q: %w", cfg.Namespace, err)
+		}
+		f.members = append(f.members, n)
+		f.byNS[cfg.Namespace] = n
+		obs.Default().Gauge(fmt.Sprintf("cdn.ns.%03d.replicas", i)).Set(int64(len(n.replicas)))
+	}
+	return f, nil
+}
+
+// validNamespace enforces the repo-wide namespace shape (see
+// crp.Namespace.Valid — cdn deliberately does not import crp): NUL-free
+// UTF-8, at most 64 bytes, no '!' separator.
+func validNamespace(ns string) error {
+	if ns == "" {
+		return nil
+	}
+	if len(ns) > 64 {
+		return fmt.Errorf("namespace is %d bytes, limit 64", len(ns))
+	}
+	if !utf8.ValidString(ns) {
+		return errors.New("namespace is not valid UTF-8")
+	}
+	for i := 0; i < len(ns); i++ {
+		if ns[i] == '!' || ns[i] == 0 {
+			return fmt.Errorf("namespace contains forbidden byte %q", ns[i])
+		}
+	}
+	return nil
+}
+
+// Namespaces returns the member namespaces in sorted order.
+func (f *Fleet) Namespaces() []string {
+	out := make([]string, 0, len(f.members))
+	for ns := range f.byNS {
+		out = append(out, ns)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Members returns the member networks in config order.
+func (f *Fleet) Members() []*Network {
+	return append([]*Network(nil), f.members...)
+}
+
+// Get returns the member network for a namespace.
+func (f *Fleet) Get(ns string) (*Network, bool) {
+	n, ok := f.byNS[ns]
+	return n, ok
+}
+
+// SetMapHook installs (or removes, with nil) the mapping hook of one
+// member, leaving its siblings' hooks untouched.
+func (f *Fleet) SetMapHook(ns string, h MapHook) error {
+	n, ok := f.byNS[ns]
+	if !ok {
+		return fmt.Errorf("cdn: no fleet member with namespace %q", ns)
+	}
+	n.SetMapHook(h)
+	return nil
+}

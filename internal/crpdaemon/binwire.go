@@ -22,9 +22,12 @@ import (
 //
 // A request body is: opcode u8, flags u8 (bit0 threshold present, bit1
 // candidates present — a nil candidates list means "rank against every
-// known node", so presence must survive the wire), node, a, b, client,
-// addr strings, replicas (count + strings), [candidates (count +
-// strings)], k uvarint, n uvarint, [threshold f64].
+// known node", so presence must survive the wire; bit2 ns present), node,
+// a, b, client, addr strings, replicas (count + strings), [candidates
+// (count + strings)], k uvarint, n uvarint, [threshold f64], [ns string].
+// The ns field rides at the end of the body behind its presence bit, so a
+// pre-namespace encoder's frames decode unchanged under the same version
+// byte — no version bump, no corpus invalidation.
 //
 // A response body is: flags u8 (presence bits below), error string,
 // [similarity f64], [ratioMap: count + sorted (key, f64) pairs — sorted so
@@ -127,6 +130,9 @@ func encodeRequestBody(e *binwire.Enc, req *Request) error {
 	if req.Candidates != nil {
 		flags |= 2
 	}
+	if req.NS != "" {
+		flags |= 4
+	}
 	e.U8(flags)
 	e.String(req.Node)
 	e.String(req.A)
@@ -147,6 +153,9 @@ func encodeRequestBody(e *binwire.Enc, req *Request) error {
 	e.Uvarint(uint64(req.N))
 	if req.Threshold != nil {
 		e.F64(*req.Threshold)
+	}
+	if req.NS != "" {
+		e.String(req.NS)
 	}
 	return nil
 }
@@ -214,7 +223,7 @@ func decodeRequestBody(d *binwire.Dec, req *Request) error {
 	if err != nil {
 		return err
 	}
-	if flags > 3 {
+	if flags > 7 {
 		return fmt.Errorf("reserved request flags 0x%02x", flags)
 	}
 	for _, f := range []*string{&req.Node, &req.A, &req.B, &req.Client, &req.Addr} {
@@ -263,6 +272,11 @@ func decodeRequestBody(d *binwire.Dec, req *Request) error {
 			return err
 		}
 		req.Threshold = &t
+	}
+	if flags&4 != 0 {
+		if req.NS, err = d.String(MaxNSBytes); err != nil {
+			return err
+		}
 	}
 	return nil
 }

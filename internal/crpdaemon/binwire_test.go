@@ -57,6 +57,16 @@ func sampleRequests() []Request {
 			{Op: "similarity", A: "n1", B: "n2"},
 			{Op: "stats"},
 		}},
+		// Namespaced shapes ride after the pre-namespace ones so extending
+		// the corpus preserved the original seed numbering.
+		{Op: "ratio_map", Node: "n1", NS: "cdnA"},
+		{Op: "similarity", A: "n1", B: "n2", NS: strings.Repeat("n", MaxNSBytes)},
+		{Op: "closest", Client: "c1", Candidates: []string{"n1"}, K: 2, NS: "cdnB"},
+		{Op: "observe", Node: "n1", Replicas: []string{"cdnA!r1", "cdnB!r1"}},
+		{Op: "batch", Batch: []Request{
+			{Op: "observe", Node: "n1", Replicas: []string{"cdnA!r1"}},
+			{Op: "closest", Client: "n1", K: 1, NS: "cdnA"},
+		}},
 	}
 }
 

@@ -55,6 +55,11 @@ type Request struct {
 	Threshold *float64 `json:"threshold,omitempty"`
 	// Addr is the gossip address of the peer to join (peer-join).
 	Addr string `json:"addr,omitempty"`
+	// NS scopes a ratio_map, similarity or closest query to one CDN
+	// namespace: only that CDN's redirections contribute to the answer.
+	// Empty (the default) keeps the unscoped semantics — the fused kernel
+	// when the service has fusion enabled, the plain cosine otherwise.
+	NS string `json:"ns,omitempty"`
 	// Batch carries the sub-requests of op "batch": one datagram, N
 	// queries, one reply with N results in order. Sub-requests are
 	// individually bounded and cannot themselves be batches.
@@ -488,6 +493,14 @@ func (d *Daemon) dispatch(req Request) Response {
 		cfg.Threshold = *req.Threshold
 	}
 
+	if req.NS != "" {
+		switch req.Op {
+		case "ratio_map", "similarity", "closest":
+		default:
+			return Response{Error: fmt.Sprintf("op %q does not support ns scoping", req.Op)}
+		}
+	}
+
 	switch req.Op {
 	case "batch":
 		// One datagram, N queries, N results in request order. The envelope
@@ -509,7 +522,13 @@ func (d *Daemon) dispatch(req Request) Response {
 		return Response{OK: true}
 
 	case "ratio_map":
-		m, err := d.svc.RatioMap(crp.NodeID(req.Node))
+		var m crp.RatioMap
+		var err error
+		if req.NS != "" {
+			m, err = d.svc.RatioMapIn(crp.Namespace(req.NS), crp.NodeID(req.Node))
+		} else {
+			m, err = d.svc.RatioMap(crp.NodeID(req.Node))
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -520,7 +539,13 @@ func (d *Daemon) dispatch(req Request) Response {
 		return Response{OK: true, RatioMap: out}
 
 	case "similarity":
-		sim, err := d.svc.Similarity(crp.NodeID(req.A), crp.NodeID(req.B))
+		var sim float64
+		var err error
+		if req.NS != "" {
+			sim, err = d.svc.SimilarityIn(crp.Namespace(req.NS), crp.NodeID(req.A), crp.NodeID(req.B))
+		} else {
+			sim, err = d.svc.Similarity(crp.NodeID(req.A), crp.NodeID(req.B))
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -541,7 +566,13 @@ func (d *Daemon) dispatch(req Request) Response {
 				cands[i] = crp.NodeID(c)
 			}
 		}
-		ranked, err := d.svc.TopK(crp.NodeID(req.Client), cands, k)
+		var ranked []crp.Scored
+		var err error
+		if req.NS != "" {
+			ranked, err = d.svc.TopKIn(crp.Namespace(req.NS), crp.NodeID(req.Client), cands, k)
+		} else {
+			ranked, err = d.svc.TopK(crp.NodeID(req.Client), cands, k)
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -575,6 +606,11 @@ func (d *Daemon) dispatch(req Request) Response {
 		// reply budget, so the exported copy carries a six-field summary
 		// instead. The in-process registry keeps the full family.
 		snap.SummarizeGaugeFamily("crp.service.shard.", ".nodes", "crp.service.shard_nodes")
+		// Same treatment for the per-namespace families a fused multi-CDN
+		// deployment grows: however many namespaces the service has seen,
+		// the exported reply carries one six-field summary per family.
+		snap.SummarizeGaugeFamily("crp.service.ns.", ".observes", "crp.service.ns_observes")
+		snap.SummarizeGaugeFamily("cdn.ns.", ".replicas", "cdn.ns_replicas")
 		return Response{OK: true, Stats: &snap}
 
 	case "peer-join":

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"unicode/utf8"
+
+	"repro/crp"
 )
 
 // Wire-field bounds. The daemon fronts an in-memory store keyed by
@@ -30,6 +32,9 @@ const (
 	// MaxBatch bounds the sub-requests of one batch datagram. Each
 	// sub-request is individually bounds-checked; batches don't nest.
 	MaxBatch = 64
+	// MaxNSBytes bounds the ns (CDN namespace) field; it mirrors
+	// crp.MaxNamespaceBytes.
+	MaxNSBytes = 64
 )
 
 // decodeRequest parses and bounds-checks one wire request in either codec,
@@ -107,6 +112,11 @@ func checkSingleRequest(req *Request) error {
 	for i, c := range req.Candidates {
 		if err := checkID(fmt.Sprintf("candidates[%d]", i), c); err != nil {
 			return err
+		}
+	}
+	if req.NS != "" {
+		if err := crp.Namespace(req.NS).Valid(); err != nil {
+			return fmt.Errorf("ns: %v", err)
 		}
 	}
 	if req.K < 0 || req.K > MaxK {

@@ -227,11 +227,33 @@ func (p *Plane) ResolverFor(h netsim.HostID, at time.Duration) netsim.HostID {
 // MapEpoch implements cdn.MapHook: it freezes the mapping state to the
 // epoch containing a cdn-freeze fault's start, and rehashes the epoch
 // identity every cdn-flap period, producing abrupt wholesale re-mappings.
+// It is the hook of the unnamed (single-CDN) network; CDN-scoped faults do
+// not apply through it.
 func (p *Plane) MapEpoch(ldns netsim.HostID, at, epochLen time.Duration, epoch uint64) (uint64, time.Duration) {
+	return p.mapEpochNS("", ldns, at, epochLen, epoch)
+}
+
+// MapHookFor returns the cdn.MapHook for the fleet member named ns: only
+// cdn-freeze/cdn-flap faults whose CDN scope is empty (fleet-wide) or
+// exactly ns apply, so one scenario can freeze CDN A's mapping while CDN B
+// keeps flapping on its own schedule. Install per member via
+// cdn.Fleet.SetMapHook.
+func (p *Plane) MapHookFor(ns string) func(ldns netsim.HostID, at, epochLen time.Duration, epoch uint64) (uint64, time.Duration) {
+	return func(ldns netsim.HostID, at, epochLen time.Duration, epoch uint64) (uint64, time.Duration) {
+		return p.mapEpochNS(ns, ldns, at, epochLen, epoch)
+	}
+}
+
+// mapEpochNS is the shared mapping-hook body: MapEpoch with a CDN-namespace
+// filter.
+func (p *Plane) mapEpochNS(ns string, ldns netsim.HostID, at, epochLen time.Duration, epoch uint64) (uint64, time.Duration) {
 	epochStart := time.Duration(epoch) * epochLen
 	for i := range p.sc.Faults {
 		f := &p.sc.Faults[i]
 		if !f.active(at) || !p.hostMatch(f, ldns) {
+			continue
+		}
+		if f.CDN != "" && f.CDN != ns {
 			continue
 		}
 		switch f.Kind {

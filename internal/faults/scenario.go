@@ -119,6 +119,11 @@ type Fault struct {
 	// code (e.g. "eu"); empty targets every host. For pkt-* kinds it is the
 	// label given to WrapPacketConn; empty targets every wrapped conn.
 	Target string `json:"target,omitempty"`
+	// CDN scopes a cdn-freeze/cdn-flap fault to one CDN namespace in a
+	// multi-CDN fleet: the fault only applies through the MapHookFor hook of
+	// that namespace. Empty applies to every CDN (and is the only shape the
+	// single-CDN MapEpoch hook sees).
+	CDN string `json:"cdn,omitempty"`
 	// Rate is the per-decision activation probability in (0,1] for the
 	// probabilistic kinds (probe-loss, ldns-churn, pkt-loss/dup/reorder;
 	// pkt-delay and congestion may use it to gate, default 1).
@@ -157,6 +162,9 @@ func (f *Fault) validate(i int) error {
 	}
 	if f.Rate < 0 || f.Rate > 1 {
 		return bad("rate %v outside [0,1]", f.Rate)
+	}
+	if f.CDN != "" && f.Kind != CDNFreeze && f.Kind != CDNFlap {
+		return bad("cdn scope only applies to cdn-freeze and cdn-flap")
 	}
 	switch f.Kind {
 	case ProbeLoss, LDNSChurn, PacketLoss, PacketDup, PacketReorder:

@@ -40,6 +40,17 @@ func sampleMsgs() []Msg {
 		{Type: MsgDelta, From: "d1", TTL: 1, Deltas: []crp.NodeDelta{
 			{NodeMeta: crp.NodeMeta{Node: "n3", Version: 1}},
 		}},
+		// Namespaced replica IDs ride inside the ID strings ("ns!replica"),
+		// so a multi-CDN deployment needs no frame change — but the corpus
+		// must cover them, including one at the exact MaxIDBytes boundary.
+		{Type: MsgDelta, From: "d1", TTL: 2, Deltas: []crp.NodeDelta{
+			{NodeMeta: crp.NodeMeta{Node: "n4", Origin: "d1", Version: 3}, Probes: []crp.Probe{
+				{At: thresholdAt, Replicas: []crp.ReplicaID{
+					"cdnA!r1", "cdnB!r1",
+					crp.ReplicaID("cdnA!" + strings.Repeat("r", MaxIDBytes-len("cdnA!"))),
+				}},
+			}},
+		}},
 	}
 }
 
