@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet fmt check test-faults
+.PHONY: build test bench race vet fmt check test-faults test-scenario
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,16 @@ test-faults:
 	$(GO) test -fuzz FuzzDecodePeerMsg -fuzztime 10s ./internal/peering/
 	$(GO) test -fuzz FuzzDecodeBinaryRequest -fuzztime 10s ./internal/crpdaemon/
 	$(GO) test -fuzz FuzzDecodeBinaryPeerMsg -fuzztime 10s ./internal/peering/
+	$(GO) test -fuzz FuzzDecodeScenario -fuzztime 10s ./internal/scenario/
+
+# test-scenario runs the declarative scenario runner's suite under the race
+# detector: plan decode/validation tables, arrival-process determinism and
+# rate-accuracy properties, the mem-transport byte-identical rerun tests,
+# and the paced 3-daemon real-UDP smoke — then a short fuzz smoke over the
+# plan decoder.
+test-scenario:
+	$(GO) test -race ./internal/scenario/
+	$(GO) test -fuzz FuzzDecodeScenario -fuzztime 10s ./internal/scenario/
 
 vet:
 	$(GO) vet ./...

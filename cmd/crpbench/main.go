@@ -4,31 +4,22 @@
 //
 // Usage:
 //
-//	crpbench [-exp all|fig4|fig5|table1|fig6|fig7|fig8|fig9|repair|sec6|ablations|kernels|crpd|churn|faults|gossip|scale|fusion] [-quick] [-seed N] [-nodes N] [-out FILE] [-det-out FILE]
+//	crpbench -exp list
+//	crpbench [-exp NAME] [-quick] [-seed N] [-nodes N] [-out FILE] [-det-out FILE] [-plan FILE]
 //
-// The kernels, crpd, churn and faults experiments are not from the paper:
-// kernels compares the map-based similarity path (Dot + two Norms per pair)
-// against the compiled-vector kernel the query surface runs on, at service
-// scale; crpd stress-benchmarks the positioning daemon over loopback UDP,
-// comparing cheap-op latency with and without concurrent SMF clustering
-// load; churn interleaves a continuous Observe stream with concurrent
-// TopK/SameCluster query load against both the sharded tracker store and
-// the single-snapshot baseline, reporting query p50/p99 and
-// snapshot-rebuild counts; faults sweeps the deterministic fault-injection
-// plane across probe-loss rates and CDN map-staleness windows and reports
-// the accuracy degradation at each point; gossip sweeps the multi-daemon
-// peering plane across rumor fanout and gossip-link packet loss and reports
-// convergence rounds and replication fidelity; scale ingests a million-client
-// population with prefix aggregation on and off, reporting state reduction,
-// closest-node rank deltas versus the per-client baseline, and query p99
-// under concurrent ingest (-det-out additionally writes the
-// timing-independent slice of the report for determinism checks); fusion
-// runs the multi-CDN evaluation — a two-member cdn.Fleet redirects the same
-// population, and the fused similarity kernel is scored against each
-// single-CDN path on closest-node rank and SMF clustering quality across
-// replica-density and coverage-sparsity cells, with a built-in gate that the
-// 1-namespace configuration stays bit-identical to the pre-fusion path. All
-// seven write their report JSON (with provenance metadata) to -out.
+// Experiments register in the table in registry.go; -exp list prints every
+// registered experiment with the flags it accepts. The paper experiments
+// (fig4..ablations, or all) share one simulated-scenario build. The
+// standalone experiments are this repository's own: kernels compares the
+// map-based similarity path against the compiled-vector kernel; crpd
+// stress-benchmarks the positioning daemon over loopback UDP; churn
+// interleaves continuous Observe load with concurrent query load across
+// store designs; faults sweeps the deterministic fault-injection plane;
+// gossip sweeps the multi-daemon peering plane across fanout x packet loss;
+// scale ingests a million-client population with prefix aggregation on and
+// off; fusion scores the fused multi-CDN kernel against single-CDN paths;
+// scenario drives a real daemon mesh from a declarative JSON plan (see
+// scenarios/README.md) and gates it on the plan's envelope.
 //
 // Every experiment dumps the process-wide obs metrics snapshot when it
 // finishes, so each run leaves instrumentation data alongside its tables.
@@ -42,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiment"
@@ -56,46 +48,47 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("crpbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, fig4, fig5, table1, fig6, fig7, fig8, fig9, repair, sec6, ablations, kernels, crpd, churn, faults, gossip, scale, fusion")
-	quick := fs.Bool("quick", false, "run a reduced-scale configuration")
-	seed := fs.Int64("seed", 1, "simulation seed")
-	nodes := fs.Int("nodes", 0, "override the churn experiment's node count (0 = default scale)")
-	out := fs.String("out", "", "write the bench report JSON (crpd, churn) to this file")
-	detOut := fs.String("det-out", "", "scale experiment: also write the timing-independent report slice to this file (for same-seed determinism checks)")
+	exp := fs.String("exp", "all", "experiment to run, or 'list' to enumerate them")
+	a := benchArgs{}
+	fs.BoolVar(&a.quick, "quick", false, "run a reduced-scale configuration")
+	fs.Int64Var(&a.seed, "seed", 1, "simulation seed")
+	fs.IntVar(&a.nodes, "nodes", 0, "override the churn experiment's node count (0 = default scale)")
+	fs.StringVar(&a.out, "out", "", "write the experiment's report JSON to this file")
+	fs.StringVar(&a.detOut, "det-out", "", "also write the timing-independent report slice to this file (for same-seed determinism checks)")
+	fs.StringVar(&a.plan, "plan", "", "scenario experiment: the JSON plan file to run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	// The kernel comparison, the daemon stress bench and the store churn
-	// bench are pure micro-benchmarks: no scenario build.
-	if *exp == "kernels" {
-		return runKernels(*quick)
+	if *exp == "list" {
+		fmt.Print(renderExperimentList())
+		return nil
 	}
-	if *exp == "crpd" {
-		return runCrpdBench(*quick, *seed, *out)
+	spec := findExperiment(*exp)
+	if spec == nil {
+		return fmt.Errorf("unknown experiment %q (want one of: %s, or list)",
+			*exp, strings.Join(experimentNames(), " "))
 	}
-	if *exp == "churn" {
-		return runChurn(*quick, *seed, *nodes, *out)
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := spec.validateFlags(set); err != nil {
+		return err
 	}
-	if *exp == "faults" {
-		return runFaultSweep(*quick, *seed, *out)
+	if !spec.paper {
+		return spec.run(a)
 	}
-	if *exp == "gossip" {
-		return runGossipBench(*quick, *seed, *out)
-	}
-	if *exp == "scale" {
-		return runScale(*quick, *seed, *out, *detOut)
-	}
-	if *exp == "fusion" {
-		return runFusion(*quick, *seed, *out)
-	}
+	return runPaper(*exp, a)
+}
 
+// runPaper executes the paper experiments off one shared scenario build;
+// exp "all" runs every figure in sequence.
+func runPaper(exp string, a benchArgs) error {
 	params := experiment.DefaultScenarioParams()
-	params.Seed = *seed
+	params.Seed = a.seed
 	sweepCfg := experiment.RankSweepConfig{}
 	probeCfg := experiment.ClosestNodeConfig{}
 	clusterCfg := experiment.ClusteringConfig{SecondPass: true}
-	if *quick {
+	if a.quick {
 		// Keep the candidate density close to the paper's: CRP's Top-K
 		// averaging needs several candidates per metro to be meaningful.
 		params.NumClients = 150
@@ -117,12 +110,10 @@ func run(args []string) error {
 	}
 	fmt.Printf("scenario ready in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-	ran := false
+	want := func(name string) bool { return exp == "all" || exp == name }
 
 	var closest *experiment.ClosestNodeOutcome
 	if want("fig4") || want("fig5") {
-		ran = true
 		closest, err = sc.RunClosestNode(probeCfg)
 		if err != nil {
 			return fmt.Errorf("closest-node experiment: %w", err)
@@ -139,7 +130,6 @@ func run(args []string) error {
 	}
 
 	if want("table1") || want("fig6") || want("fig7") {
-		ran = true
 		clusters, err := sc.RunClustering(clusterCfg)
 		if err != nil {
 			return fmt.Errorf("clustering experiment: %w", err)
@@ -157,7 +147,6 @@ func run(args []string) error {
 	}
 
 	if want("fig8") {
-		ran = true
 		intervals := []time.Duration{20 * time.Minute, 100 * time.Minute, 500 * time.Minute, 2000 * time.Minute}
 		series, err := sc.RunProbeIntervalSweep(intervals, sweepCfg)
 		if err != nil {
@@ -169,7 +158,6 @@ func run(args []string) error {
 	}
 
 	if want("fig9") {
-		ran = true
 		series, err := sc.RunWindowSweep([]int{0, 30, 10, 5}, 10*time.Minute, sweepCfg)
 		if err != nil {
 			return fmt.Errorf("window sweep: %w", err)
@@ -180,9 +168,8 @@ func run(args []string) error {
 	}
 
 	if want("repair") {
-		ran = true
 		repairCfg := experiment.RepairConfig{Schedule: probeCfg.Schedule}
-		if *quick {
+		if a.quick {
 			repairCfg.NumPaths = 60
 		}
 		outcome, err := sc.RunPathRepair(repairCfg)
@@ -194,7 +181,6 @@ func run(args []string) error {
 	}
 
 	if want("sec6") {
-		ran = true
 		rows, err := sc.RunNameSelection(30, 10)
 		if err != nil {
 			return fmt.Errorf("name selection: %w", err)
@@ -212,16 +198,12 @@ func run(args []string) error {
 	}
 
 	if want("ablations") {
-		ran = true
 		if err := runAblations(sc, params, probeCfg, clusterCfg); err != nil {
 			return err
 		}
 		dumpObs("ablations")
 	}
 
-	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of: all fig4 fig5 table1 fig6 fig7 fig8 fig9 repair sec6 ablations kernels crpd churn faults gossip scale fusion)", *exp)
-	}
 	fmt.Printf("total runtime %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// runScenario executes a declarative JSON plan against a real daemon mesh
+// (see internal/scenario and scenarios/README.md). -out gets the full
+// report with provenance; -det-out gets the timing-independent slice alone,
+// byte-identical across same-seed reruns, for CI determinism gates. A
+// failed envelope gate is a nonzero exit after the reports are written, so
+// CI keeps the evidence.
+func runScenario(planPath, out, detOut string) error {
+	raw, err := os.ReadFile(planPath)
+	if err != nil {
+		return fmt.Errorf("read plan: %w", err)
+	}
+	p, err := scenario.DecodePlan(raw)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario %q: %s transport, %d daemons, %d groups, %d ticks, seed %d\n",
+		p.Name, p.Transport, p.Daemons, len(p.Groups), p.Ticks(), p.Seed)
+
+	rep, err := scenario.Run(p, scenario.Options{
+		Registry: obs.Default(),
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(renderScenarioReport(rep))
+
+	scale := map[string]int64{
+		"daemons": int64(p.Daemons),
+		"ticks":   int64(p.Ticks()),
+		"groups":  int64(len(p.Groups)),
+	}
+	for _, g := range rep.Det.Groups {
+		scale["size_"+g.Name] = int64(g.Size)
+	}
+	full := struct {
+		Meta   benchMeta        `json:"meta"`
+		Report *scenario.Report `json:"report"`
+	}{newBenchMeta("scenario", int64(p.Seed), false, scale), rep}
+	if err := writeReport(out, full); err != nil {
+		return err
+	}
+	if err := writeReport(detOut, rep.Det); err != nil {
+		return err
+	}
+	dumpObs("scenario " + p.Name)
+
+	if !rep.AllPass() {
+		var gates []string
+		for _, v := range rep.FailedGates() {
+			gates = append(gates, fmt.Sprintf("%s (%s)", v.Gate, v.Detail))
+		}
+		return fmt.Errorf("envelope gates failed: %s", strings.Join(gates, "; "))
+	}
+	return nil
+}
+
+func renderScenarioReport(rep *scenario.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n%-14s %-11s %10s %10s %8s %10s %10s\n",
+		"group", "kind", "offered", "completed", "errored", "p50 ms", "p99 ms")
+	timing := make(map[string]scenario.GroupTiming, len(rep.Timing.Groups))
+	for _, gt := range rep.Timing.Groups {
+		timing[gt.Name] = gt
+	}
+	for _, g := range rep.Det.Groups {
+		gt := timing[g.Name]
+		fmt.Fprintf(&b, "%-14s %-11s %10d %10d %8d %10.3f %10.3f\n",
+			g.Name, g.Kind, g.Offered, g.Completed, g.Errored, gt.P50Ms, gt.P99Ms)
+	}
+	if rep.Det.Daemons > 1 {
+		fmt.Fprintf(&b, "\nmesh: converged=%v", rep.Det.Converged)
+		if rep.Det.ConvergeRounds > 0 {
+			fmt.Fprintf(&b, " after %d extra rounds", rep.Det.ConvergeRounds)
+		}
+		if rep.Timing.ConvergeWaitMs > 0 {
+			fmt.Fprintf(&b, " after %.0fms", rep.Timing.ConvergeWaitMs)
+		}
+		b.WriteString("\n")
+	}
+	verdicts := append(append([]scenario.Verdict{}, rep.Det.Verdicts...), rep.Timing.Verdicts...)
+	if len(verdicts) > 0 {
+		b.WriteString("\nenvelope:\n")
+		for _, v := range verdicts {
+			mark := "PASS"
+			if !v.Pass {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(&b, "  [%s] %-24s %s\n", mark, v.Gate, v.Detail)
+		}
+	}
+	fmt.Fprintf(&b, "\nwall time %.0fms\n", rep.Timing.WallMs)
+	return b.String()
+}

@@ -215,12 +215,12 @@ func batchHeavy(req *Request) bool {
 	return false
 }
 
-// Serve starts answering datagrams arriving on pc. The daemon owns pc after
-// this call and closes it in Close.
-func Serve(pc net.PacketConn, svc *crp.Service, cfg Config) (*Daemon, error) {
-	if pc == nil {
-		return nil, errors.New("crpdaemon: nil PacketConn")
-	}
+// New builds a socketless daemon: Handle serves requests synchronously with
+// full instrumentation, but no worker pools or read loop exist and no socket
+// is owned. The deterministic scenario harness embeds daemons this way so a
+// single-threaded driver sees a fixed execution order. Close is a no-op for
+// a socketless daemon.
+func New(svc *crp.Service, cfg Config) (*Daemon, error) {
 	if svc == nil {
 		return nil, errors.New("crpdaemon: nil Service")
 	}
@@ -230,9 +230,6 @@ func Serve(pc net.PacketConn, svc *crp.Service, cfg Config) (*Daemon, error) {
 		cfg:    cfg,
 		reg:    cfg.Registry,
 		now:    cfg.Now,
-		pc:     pc,
-		cheapQ: make(chan task, cfg.QueueDepth),
-		heavyQ: make(chan task, cfg.QueueDepth),
 		closed: make(chan struct{}),
 
 		inflight:     cfg.Registry.Gauge("crpd.inflight"),
@@ -252,12 +249,28 @@ func Serve(pc net.PacketConn, svc *crp.Service, cfg Config) (*Daemon, error) {
 		d.errCount[op] = cfg.Registry.Counter("crpd.errors." + op)
 		d.latency[op] = cfg.Registry.Histogram("crpd.latency."+op, nil)
 	}
+	return d, nil
+}
 
-	for i := 0; i < cfg.CheapWorkers; i++ {
+// Serve starts answering datagrams arriving on pc. The daemon owns pc after
+// this call and closes it in Close.
+func Serve(pc net.PacketConn, svc *crp.Service, cfg Config) (*Daemon, error) {
+	if pc == nil {
+		return nil, errors.New("crpdaemon: nil PacketConn")
+	}
+	d, err := New(svc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.pc = pc
+	d.cheapQ = make(chan task, d.cfg.QueueDepth)
+	d.heavyQ = make(chan task, d.cfg.QueueDepth)
+
+	for i := 0; i < d.cfg.CheapWorkers; i++ {
 		d.wg.Add(1)
 		go d.worker(d.cheapQ)
 	}
-	for i := 0; i < cfg.HeavyWorkers; i++ {
+	for i := 0; i < d.cfg.HeavyWorkers; i++ {
 		d.wg.Add(1)
 		go d.worker(d.heavyQ)
 	}
@@ -266,8 +279,13 @@ func Serve(pc net.PacketConn, svc *crp.Service, cfg Config) (*Daemon, error) {
 	return d, nil
 }
 
-// Addr returns the daemon's listening address.
-func (d *Daemon) Addr() net.Addr { return d.pc.LocalAddr() }
+// Addr returns the daemon's listening address (nil for a socketless daemon).
+func (d *Daemon) Addr() net.Addr {
+	if d.pc == nil {
+		return nil
+	}
+	return d.pc.LocalAddr()
+}
 
 // Close stops the daemon: no new requests are admitted, queued requests are
 // drained through the pools, and Close returns once every in-flight handler
@@ -275,7 +293,9 @@ func (d *Daemon) Addr() net.Addr { return d.pc.LocalAddr() }
 func (d *Daemon) Close() error {
 	d.closeOnce.Do(func() {
 		close(d.closed)
-		d.closeErr = d.pc.Close()
+		if d.pc != nil {
+			d.closeErr = d.pc.Close()
+		}
 	})
 	d.wg.Wait()
 	return d.closeErr

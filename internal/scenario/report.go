@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// Verdict is one envelope gate's outcome.
+type Verdict struct {
+	Gate   string `json:"gate"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+// GroupDet is the deterministic slice of one group's outcome: pure counts,
+// no clocks. Expected is the analytic op total (Σ rate·tick over the
+// window), Offered the seeded Poisson realization — both are functions of
+// the plan alone, on either transport.
+type GroupDet struct {
+	Name      string  `json:"name"`
+	Kind      string  `json:"kind"`
+	Size      int     `json:"size"`
+	Offered   uint64  `json:"offered"`
+	Completed uint64  `json:"completed"`
+	Errored   uint64  `json:"errored"`
+	Expected  float64 `json:"expected,omitempty"`
+}
+
+// DetReport is the timing-independent slice of a run: byte-identical across
+// same-seed reruns, which is what the CI determinism gate compares. On the
+// udp transport the clock-dependent fields (convergence rounds, fault
+// activations) are left zero — only the mem transport pins them.
+type DetReport struct {
+	Name      string     `json:"name"`
+	Seed      uint64     `json:"seed"`
+	Transport string     `json:"transport"`
+	Daemons   int        `json:"daemons"`
+	Ticks     int        `json:"ticks"`
+	Groups    []GroupDet `json:"groups"`
+	// Converged reports shard-digest equality across the mesh (trivially
+	// true for a single daemon); ConvergeRounds is how many extra gossip
+	// rounds past the driven window it took (mem transport only; 0 means
+	// the mesh was already converged when the load stopped).
+	Converged      bool `json:"converged"`
+	ConvergeRounds int  `json:"convergeRounds,omitempty"`
+	// SnapshotMatch reports whether every daemon's compiled snapshot is
+	// byte-identical to the mirror service fed the merged op stream. Only
+	// populated when the envelope demands it (mem transport).
+	SnapshotMatch bool `json:"snapshotMatch,omitempty"`
+	// Activations counts fault-plane firings per kind (mem transport; on
+	// udp the gossip tick count is wall-clock-driven, so the counts are
+	// real but not replayable).
+	Activations map[faults.Kind]uint64 `json:"activations,omitempty"`
+	Verdicts    []Verdict              `json:"verdicts"`
+	AllPass     bool                   `json:"allPass"`
+}
+
+// GroupTiming is one driven group's wall-clock slice.
+type GroupTiming struct {
+	Name    string  `json:"name"`
+	P50Ms   float64 `json:"p50Ms"`
+	P99Ms   float64 `json:"p99Ms"`
+	MaxMs   float64 `json:"maxMs"`
+	Retries uint64  `json:"retries,omitempty"`
+}
+
+// TimingReport is the wall-clock slice: real on both transports, gated only
+// by the envelope's latency bounds, never byte-compared.
+type TimingReport struct {
+	WallMs float64 `json:"wallMs"`
+	// ConvergeWaitMs is how long the udp mesh took to reach digest
+	// equality after the driven window (0 on mem, where rounds are the
+	// honest unit).
+	ConvergeWaitMs float64                `json:"convergeWaitMs,omitempty"`
+	Groups         []GroupTiming          `json:"groups"`
+	Activations    map[faults.Kind]uint64 `json:"activations,omitempty"`
+	Verdicts       []Verdict              `json:"verdicts"`
+	AllPass        bool                   `json:"allPass"`
+}
+
+// Report is one scenario run's full outcome.
+type Report struct {
+	Det    DetReport    `json:"det"`
+	Timing TimingReport `json:"timing"`
+	// Stats is the shared registry snapshot fetched *through the stats op*
+	// (over the wire on udp), so a passing run proves the scenario.group.*
+	// instruments export end to end.
+	Stats *obs.Snapshot `json:"stats,omitempty"`
+}
+
+// AllPass reports whether every gate — deterministic and timing — passed.
+func (r *Report) AllPass() bool { return r.Det.AllPass && r.Timing.AllPass }
+
+// FailedGates lists the failed verdicts across both slices.
+func (r *Report) FailedGates() []Verdict {
+	var out []Verdict
+	for _, v := range r.Det.Verdicts {
+		if !v.Pass {
+			out = append(out, v)
+		}
+	}
+	for _, v := range r.Timing.Verdicts {
+		if !v.Pass {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+// percentile returns the q-th percentile of ds (exact, nearest-rank).
+func percentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func verdict(gate string, pass bool, format string, args ...any) Verdict {
+	return Verdict{Gate: gate, Pass: pass, Detail: fmt.Sprintf(format, args...)}
+}
