@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet fmt check test-faults test-scenario
+.PHONY: build test bench race vet fmt check test-faults test-scenario test-drift
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,11 @@ test:
 # per-client baseline, query p99 under concurrent ingest), then the
 # multi-CDN fusion bench (BENCH_fusion.json: fused vs single-CDN
 # closest-node rank and SMF quality across replica-density x
-# coverage-sparsity cells, with the 1-namespace bit-identity gate). All
-# reports embed provenance metadata (seed, host width, go version, scale
-# knobs).
+# coverage-sparsity cells, with the 1-namespace bit-identity gate), then
+# the drift detector bench (BENCH_drift.json: CDN-change detection
+# precision/recall/latency vs the fault plane's compiled truth schedule
+# across detector sensitivity x fault scenario, self-gating). All reports
+# embed provenance metadata (seed, host width, go version, scale knobs).
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 	$(GO) run ./cmd/crpbench -exp crpd -quick -out BENCH_crpd.json
@@ -33,6 +35,7 @@ bench:
 	$(GO) run ./cmd/crpbench -exp gossip -out BENCH_gossip.json
 	$(GO) run ./cmd/crpbench -exp scale -out BENCH_scale.json
 	$(GO) run ./cmd/crpbench -exp fusion -out BENCH_fusion.json
+	$(GO) run ./cmd/crpbench -exp drift -out BENCH_drift.json
 
 # test-faults runs the fault-injection degradation suite (clean-vs-faulted
 # accuracy envelopes per fault class, activation-counter assertions,
@@ -49,6 +52,7 @@ test-faults:
 	$(GO) test -fuzz FuzzDecodeBinaryRequest -fuzztime 10s ./internal/crpdaemon/
 	$(GO) test -fuzz FuzzDecodeBinaryPeerMsg -fuzztime 10s ./internal/peering/
 	$(GO) test -fuzz FuzzDecodeScenario -fuzztime 10s ./internal/scenario/
+	$(GO) test -fuzz FuzzDecodeDriftConfig -fuzztime 10s ./internal/drift/
 
 # test-scenario runs the declarative scenario runner's suite under the race
 # detector: plan decode/validation tables, arrival-process determinism and
@@ -58,6 +62,19 @@ test-faults:
 test-scenario:
 	$(GO) test -race ./internal/scenario/
 	$(GO) test -fuzz FuzzDecodeScenario -fuzztime 10s ./internal/scenario/
+
+# test-drift runs the CDN-change detector suite under the race detector:
+# config decode/validation tables, same-seed byte-identity, hysteresis and
+# churn-rejection unit tests, the truth-schedule compiler's pinned windows,
+# the daemon's drift-status op over both codecs, and the end-to-end
+# precision/recall gate run — then a short fuzz smoke over the config
+# decoder.
+test-drift:
+	$(GO) test -race ./internal/drift/ ./crp/ -run 'Drift|Detector|Config'
+	$(GO) test -race ./internal/faults/ -run 'Event|Schedule'
+	$(GO) test -race ./internal/crpdaemon/ -run 'Drift'
+	$(GO) test -race ./internal/experiment/ -run 'Drift'
+	$(GO) test -fuzz FuzzDecodeDriftConfig -fuzztime 10s ./internal/drift/
 
 vet:
 	$(GO) vet ./...

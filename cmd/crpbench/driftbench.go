@@ -1,0 +1,66 @@
+// The drift bench scores the CDN-change detector end to end
+// (experiment.RunDrift): a two-member fleet redirects a client population
+// while the fault plane flaps or freezes the secondary CDN's mapping on a
+// known schedule, and the detector's alarms are joined against the
+// compiled ground-truth event schedule for precision, recall and detection
+// latency across detector sensitivity × fault intensity. The run is
+// self-gating: it fails unless the default sensitivity hits the
+// precision/recall bars and the churn-only cell stays alarm-free. The
+// report lands in BENCH_drift.json via make bench; the -det-out slice is
+// byte-identical across same-seed reruns, which CI gates on with cmp.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiment"
+)
+
+// driftReport is the BENCH_drift.json payload.
+type driftReport struct {
+	Meta    benchMeta                `json:"meta"`
+	Outcome *experiment.DriftOutcome `json:"outcome"`
+}
+
+// driftDetReport is the -det-out payload: the outcome alone. It carries no
+// timings or host provenance, so same-seed reruns are byte-identical.
+type driftDetReport struct {
+	Seed    int64                    `json:"seed"`
+	Quick   bool                     `json:"quick"`
+	Outcome *experiment.DriftOutcome `json:"outcome"`
+}
+
+// runDriftBench sweeps the detector and enforces its quality gates. Quick
+// mode trims the sweep to the default sensitivity; the gated cells always
+// run at full scale, so the gates mean the same thing either way.
+func runDriftBench(quick bool, seed int64, out, detOut string) error {
+	p := experiment.DefaultDriftParams()
+	p.Seed = seed
+	if quick {
+		p.Sensitivities = []float64{p.DefaultSensitivity}
+	}
+	outc, err := experiment.RunDrift(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.RenderDrift(outc))
+
+	report := driftReport{Meta: newBenchMeta("drift", seed, quick, map[string]int64{
+		"clients":         int64(p.NumClients),
+		"replicas":        int64(p.NumReplicas),
+		"ticks":           int64(p.Ticks),
+		"ticks_per_frame": int64(p.TicksPerFrame),
+		"sensitivities":   int64(len(p.Sensitivities)),
+	}), Outcome: outc}
+	if err := writeReport(detOut, driftDetReport{Seed: seed, Quick: quick, Outcome: outc}); err != nil {
+		return err
+	}
+	dumpObs("drift bench")
+	if err := writeReport(out, report); err != nil {
+		return err
+	}
+	if !outc.AllPass {
+		return fmt.Errorf("drift detector gates failed:\n%s", experiment.RenderDrift(outc))
+	}
+	return nil
+}

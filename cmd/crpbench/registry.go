@@ -118,6 +118,11 @@ var experiments = []experimentSpec{
 		run:   func(a benchArgs) error { return runFusion(a.quick, a.seed, a.out) },
 	},
 	{
+		name: "drift", desc: "CDN-change detector precision/recall vs the fault plane's truth schedule",
+		flags: []string{"quick", "seed", "det-out"},
+		run:   func(a benchArgs) error { return runDriftBench(a.quick, a.seed, a.out, a.detOut) },
+	},
+	{
 		name: "scenario", desc: "declarative scenario runner: drive a daemon mesh from a JSON plan",
 		flags: []string{"plan", "det-out"}, require: []string{"plan"},
 		run: func(a benchArgs) error { return runScenario(a.plan, a.out, a.detOut) },

@@ -91,6 +91,12 @@ func renderScenarioReport(rep *scenario.Report) string {
 		}
 		b.WriteString("\n")
 	}
+	if rep.Det.DriftFrames > 0 {
+		fmt.Fprintf(&b, "\ndrift: %d frames, %d events\n", rep.Det.DriftFrames, len(rep.Det.DriftEvents))
+		for _, ev := range rep.Det.DriftEvents {
+			fmt.Fprintf(&b, "  %s %s/%s frame %d score %.2f\n", ev.Kind, ev.NS, ev.Group, ev.Frame, ev.Score)
+		}
+	}
 	verdicts := append(append([]scenario.Verdict{}, rep.Det.Verdicts...), rep.Timing.Verdicts...)
 	if len(verdicts) > 0 {
 		b.WriteString("\nenvelope:\n")

@@ -11,6 +11,7 @@
 //	     [-cheap-workers N] [-heavy-workers N] [-queue N] [-timeout 5s]
 //	     [-gossip-listen ADDR] [-peers ADDR,ADDR] [-gossip-interval 1s]
 //	     [-daemon-id ID] [-aggregate BITS] [-fusion] [-fusion-weights NS=W,..]
+//	     [-drift] [-drift-interval 30s] [-drift-config FILE]
 //
 // Request shapes:
 //
@@ -24,6 +25,7 @@
 //	{"op":"stats"}
 //	{"op":"peer-join","addr":"host:port"}
 //	{"op":"peer-status"}
+//	{"op":"drift-status"}
 //
 // Every response carries {"ok":true,...} or {"ok":false,"error":"..."};
 // replies to requests that overran the daemon's deadline additionally set
@@ -58,6 +60,15 @@
 // A daemon whose replicas carry no namespaces answers identically with
 // -fusion on or off, so the flag is safe to enable ahead of multi-CDN
 // traffic.
+//
+// With -drift set, the daemon runs the CDN-change detector (see
+// internal/drift and DESIGN.md §13): every -drift-interval it snapshots
+// the compiled ratio-map stream per CDN namespace (and per prefix group
+// when -aggregate is on) and flags mapping remaps and frozen-map staleness
+// while rejecting client-side LDNS churn. Alarm counts export under
+// drift.* in "stats"; the "drift-status" op returns the full detector
+// report. -drift-config points at a JSON file of detector knobs
+// (sensitivity, thresholds, windows) for tuning without a rebuild.
 package main
 
 import (
@@ -74,6 +85,7 @@ import (
 
 	"repro/crp"
 	"repro/internal/crpdaemon"
+	"repro/internal/drift"
 	"repro/internal/peering"
 )
 
@@ -101,11 +113,17 @@ func run(args []string) error {
 	aggregate := flags.Int("aggregate", 0, "aggregate IPv4 clients by /BITS prefix instead of per-client trackers (0 = off)")
 	fusion := flags.Bool("fusion", false, "enable the fused multi-CDN similarity kernel (namespaced replica IDs: \"ns!replica\")")
 	fusionWeights := flags.String("fusion-weights", "", `per-namespace fusion weights, e.g. "cdnA=1,cdnB=0.5" (requires -fusion)`)
+	driftOn := flags.Bool("drift", false, "run the CDN-change drift detector over the ratio-map snapshot stream")
+	driftInterval := flags.Duration("drift-interval", drift.DefaultInterval, "snapshot cadence of the drift detector (requires -drift)")
+	driftConfig := flags.String("drift-config", "", "JSON file of drift detector knobs (requires -drift)")
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
 	if *peers != "" && *gossipListen == "" {
 		return errors.New("-peers requires -gossip-listen")
+	}
+	if !*driftOn && *driftConfig != "" {
+		return errors.New("-drift-config requires -drift")
 	}
 	if *aggregate < 0 || *aggregate > 32 {
 		return fmt.Errorf("-aggregate %d: prefix length must be in 1..32", *aggregate)
@@ -186,6 +204,30 @@ func run(args []string) error {
 		}
 	}
 
+	// The drift monitor taps the service's compiled snapshots on its own
+	// cadence; it starts before the daemon takes traffic so the baseline
+	// covers the whole run.
+	var mon *drift.Monitor
+	if *driftOn {
+		cfg := drift.DefaultConfig()
+		if *driftConfig != "" {
+			blob, err := os.ReadFile(*driftConfig)
+			if err != nil {
+				return fmt.Errorf("drift config: %w", err)
+			}
+			if cfg, err = drift.DecodeConfig(blob); err != nil {
+				return fmt.Errorf("drift config %q: %w", *driftConfig, err)
+			}
+		}
+		var err error
+		mon, err = drift.NewMonitor(svc, cfg, drift.WithInterval(*driftInterval))
+		if err != nil {
+			return err
+		}
+		mon.Start()
+		fmt.Printf("crpd watching for CDN drift every %s\n", *driftInterval)
+	}
+
 	pc, err := net.ListenPacket("udp", *listen)
 	if err != nil {
 		return err
@@ -196,6 +238,7 @@ func run(args []string) error {
 		QueueDepth:   *queueDepth,
 		Timeout:      *timeout,
 		Peering:      peer,
+		Drift:        mon,
 	})
 	if err != nil {
 		pc.Close()
@@ -208,6 +251,9 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	if mon != nil {
+		mon.Close()
+	}
 	if peer != nil {
 		peer.Close()
 		gossipPC.Close()

@@ -1,0 +1,84 @@
+package crp
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestDriftFramePopulationStreams(t *testing.T) {
+	svc := NewService(WithWindow(8))
+	at := time.Unix(1_000_000, 0)
+	svc.Observe("n1", at, Qualify("cdnA", "r1"), Qualify("cdnA", "r2"), Qualify("cdnB", "x1"))
+	svc.Observe("n2", at.Add(time.Second), Qualify("cdnA", "r1"))
+
+	f := svc.DriftFrame(at.Add(2 * time.Second))
+	if f.Observes != 2 {
+		t.Fatalf("observes = %d, want 2", f.Observes)
+	}
+	if len(f.Streams) != 2 {
+		t.Fatalf("streams = %+v, want one per namespace", f.Streams)
+	}
+	a, b := f.Streams[0], f.Streams[1]
+	if a.NS != "cdnA" || b.NS != "cdnB" {
+		t.Fatalf("streams not sorted by namespace: %q, %q", a.NS, b.NS)
+	}
+	if a.Support != 2 || b.Support != 1 {
+		t.Fatalf("support = %d/%d, want 2/1", a.Support, b.Support)
+	}
+	for _, st := range f.Streams {
+		sum := 0.0
+		for _, v := range st.Map {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("stream %s/%s mass %v, want 1", st.NS, st.Group, sum)
+		}
+	}
+	// n1's cdnA mass splits evenly between r1 and r2; n2 is all-r1. The
+	// population stream is the normalized sum: r1 = (1/3+1)/x, r2 = (1/3)/x.
+	if a.Map["r2"] >= a.Map["r1"] {
+		t.Fatalf("population weights inverted: %+v", a.Map)
+	}
+
+	// Same state, same frame — byte-identical maps.
+	g := svc.DriftFrame(at.Add(2 * time.Second))
+	if !reflect.DeepEqual(f, g) {
+		t.Fatalf("same-state frames differ:\n%+v\n%+v", f, g)
+	}
+}
+
+func TestDriftFrameAggregationGroups(t *testing.T) {
+	svc := NewService(WithWindow(8))
+	if err := svc.EnableAggregation(AggregatorConfig{KeyOf: PrefixKeyFunc(24)}); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Unix(1_000_000, 0)
+	for i := 0; i < 8; i++ {
+		node := NodeID(fmt.Sprintf("10.0.0.%d", i))
+		svc.Observe(node, at.Add(time.Duration(i)*time.Second), Qualify("cdnA", "r1"), Qualify("cdnB", "x1"))
+	}
+	f := svc.DriftFrame(at.Add(time.Minute))
+	var groups []FrameStream
+	for _, st := range f.Streams {
+		if st.Group != "" {
+			groups = append(groups, st)
+		}
+	}
+	if len(groups) != 2 {
+		t.Fatalf("want one group stream per namespace, got %+v", groups)
+	}
+	for _, st := range groups {
+		if st.Group != "10.0.0.0/24" {
+			t.Fatalf("group key = %q", st.Group)
+		}
+		if st.Support == 0 {
+			t.Fatalf("group stream has zero support: %+v", st)
+		}
+		if len(st.Map) != 1 {
+			t.Fatalf("group %s/%s map = %+v", st.NS, st.Group, st.Map)
+		}
+	}
+}

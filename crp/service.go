@@ -3,6 +3,7 @@ package crp
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -63,6 +64,9 @@ type Service struct {
 	fus *fusionKernel
 	// nsObs tracks per-namespace observe volume when fusion is enabled.
 	nsObs *nsObserves
+	// obsSeq counts accepted probes for this service instance; see
+	// observeSeq.
+	obsSeq atomic.Uint64
 }
 
 // ErrUnknownNode is returned for queries about nodes the service has no
@@ -102,6 +106,7 @@ func (s *Service) Observe(node NodeID, at time.Time, replicas ...ReplicaID) erro
 		switch route {
 		case aggAbsorbed:
 			svcMetrics.observes.Inc()
+			s.obsSeq.Add(1)
 			return nil
 		case aggPerClient:
 			if len(seeds) > 0 {
@@ -113,6 +118,7 @@ func (s *Service) Observe(node NodeID, at time.Time, replicas ...ReplicaID) erro
 					}
 				})
 				svcMetrics.observes.Inc()
+				s.obsSeq.Add(1)
 				return nil
 			}
 		}
@@ -120,9 +126,16 @@ func (s *Service) Observe(node NodeID, at time.Time, replicas ...ReplicaID) erro
 	}
 	s.store.observe(node, func(t *Tracker) { t.Observe(at, replicas...) })
 	svcMetrics.observes.Inc()
+	s.obsSeq.Add(1)
 	s.nsObs.bump(replicas)
 	return nil
 }
+
+// observeSeq counts this service's accepted probes (svcMetrics.observes is
+// process-wide and shared by every Service). The drift tap stamps it into
+// each frame so a detector can tell "map unchanged while probes kept
+// landing" (stale) apart from "no traffic at all".
+func (s *Service) observeSeq() uint64 { return s.obsSeq.Load() }
 
 // simFn returns the vector-similarity kernel the query surface runs on:
 // the fused multi-CDN kernel when fusion is enabled, the plain cosine

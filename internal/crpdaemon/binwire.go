@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/binwire"
+	"repro/internal/drift"
 	"repro/internal/obs"
 	"repro/internal/peering"
 )
@@ -29,16 +30,21 @@ import (
 // pre-namespace encoder's frames decode unchanged under the same version
 // byte — no version bump, no corpus invalidation.
 //
-// A response body is: flags u8 (presence bits below), error string,
-// [similarity f64], [ratioMap: count + sorted (key, f64) pairs — sorted so
-// identical responses are byte-identical], [nodes: count + strings],
-// [ranked: count + (node, similarity) pairs], [stats JSON blob], [peering
-// JSON blob]. The stats and peering payloads are introspection documents —
-// nested, schema-churning, and far off the hot path — so they ride as
-// length-prefixed JSON rather than getting a parallel binary schema.
+// A response body is: flags uvarint (presence bits below; a u8 through
+// version 1, widened when the ninth bit arrived with drift-status), error
+// string, [similarity f64], [ratioMap: count + sorted (key, f64) pairs —
+// sorted so identical responses are byte-identical], [nodes: count +
+// strings], [ranked: count + (node, similarity) pairs], [stats JSON blob],
+// [peering JSON blob], [drift JSON blob]. The stats, peering and drift
+// payloads are introspection documents — nested, schema-churning, and far
+// off the hot path — so they ride as length-prefixed JSON rather than
+// getting a parallel binary schema.
 const (
-	binMagic      = 0xCB
-	binVersion    = 1
+	binMagic = 0xCB
+	// binVersion 2 widened the response flags from u8 to uvarint; version
+	// mismatches fail decode cleanly, and both ends of every deployment
+	// ship from this tree.
+	binVersion    = 2
 	kindReq       = 0x01
 	kindResp      = 0x02
 	kindBatchReq  = 0x03
@@ -62,6 +68,7 @@ const (
 	respHasRanked
 	respHasStats
 	respHasPeering
+	respHasDrift
 )
 
 // binOpCodes maps Request.Op to its wire opcode ("batch" is a frame kind,
@@ -69,7 +76,7 @@ const (
 var binOpCodes = map[string]byte{
 	"observe": 0, "ratio_map": 1, "similarity": 2, "closest": 3,
 	"nodes": 4, "stats": 5, "same_cluster": 6, "distinct_clusters": 7,
-	"peer-join": 8, "peer-status": 9,
+	"peer-join": 8, "peer-status": 9, "drift-status": 10,
 }
 
 var binOpNames = func() map[byte]string {
@@ -305,7 +312,7 @@ func encodeResponse(resp *Response, bin bool) []byte {
 }
 
 func encodeResponseBody(e *binwire.Enc, resp *Response) {
-	var flags byte
+	var flags uint64
 	if resp.OK {
 		flags |= respOK
 	}
@@ -330,7 +337,10 @@ func encodeResponseBody(e *binwire.Enc, resp *Response) {
 	if resp.Peering != nil {
 		flags |= respHasPeering
 	}
-	e.U8(flags)
+	if resp.Drift != nil {
+		flags |= respHasDrift
+	}
+	e.Uvarint(flags)
 	e.String(resp.Error)
 	if resp.Similarity != nil {
 		e.F64(*resp.Similarity)
@@ -369,6 +379,13 @@ func encodeResponseBody(e *binwire.Enc, resp *Response) {
 	}
 	if resp.Peering != nil {
 		b, err := json.Marshal(resp.Peering)
+		if err != nil {
+			b = []byte("{}")
+		}
+		e.Blob(b)
+	}
+	if resp.Drift != nil {
+		b, err := json.Marshal(resp.Drift)
 		if err != nil {
 			b = []byte("{}")
 		}
@@ -446,9 +463,12 @@ func decodeBinaryResponse(raw []byte) (Response, error) {
 }
 
 func decodeResponseBody(d *binwire.Dec, resp *Response) error {
-	flags, err := d.U8()
+	flags, err := d.Uvarint()
 	if err != nil {
 		return err
+	}
+	if flags >= respHasDrift<<1 {
+		return fmt.Errorf("reserved response flags 0x%x", flags)
 	}
 	resp.OK = flags&respOK != 0
 	resp.TimedOut = flags&respTimedOut != 0
@@ -525,6 +545,16 @@ func decodeResponseBody(d *binwire.Dec, resp *Response) error {
 		resp.Peering = new(peering.StatusReport)
 		if err := json.Unmarshal(b, resp.Peering); err != nil {
 			return fmt.Errorf("peering blob: %v", err)
+		}
+	}
+	if flags&respHasDrift != 0 {
+		b, err := d.Blob(maxBlobBytes)
+		if err != nil {
+			return err
+		}
+		resp.Drift = new(drift.Status)
+		if err := json.Unmarshal(b, resp.Drift); err != nil {
+			return fmt.Errorf("drift blob: %v", err)
 		}
 	}
 	return nil

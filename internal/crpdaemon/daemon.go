@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/crp"
+	"repro/internal/drift"
 	"repro/internal/obs"
 	"repro/internal/peering"
 )
@@ -77,6 +78,7 @@ type Response struct {
 	Ranked     []RankedNode          `json:"ranked,omitempty"`
 	Stats      *obs.Snapshot         `json:"stats,omitempty"`
 	Peering    *peering.StatusReport `json:"peering,omitempty"`
+	Drift      *drift.Status         `json:"drift,omitempty"`
 	// Batch carries the sub-responses of a batch request, in request order.
 	Batch []Response `json:"batch,omitempty"`
 }
@@ -119,6 +121,10 @@ type Config struct {
 	// peer-join and peer-status ops. The caller owns its lifecycle (Start,
 	// Close, sockets) — the daemon only exposes it over the query protocol.
 	Peering *peering.Peering
+	// Drift, when non-nil, is the daemon's CDN-change detector; it enables
+	// the drift-status op. As with Peering, the caller owns its lifecycle
+	// (Start, Close) — the daemon only serves its report.
+	Drift *drift.Monitor
 }
 
 func (c *Config) fillDefaults() {
@@ -199,6 +205,7 @@ var ops = map[string]bool{ // op -> heavy
 	"distinct_clusters": true,
 	"peer-join":         false,
 	"peer-status":       false,
+	"drift-status":      false,
 	// A batch runs as one unit; batchHeavy reclassifies it per datagram.
 	"batch": false,
 }
@@ -651,6 +658,13 @@ func (d *Daemon) dispatch(req Request) Response {
 		}
 		st := d.cfg.Peering.Status()
 		return Response{OK: true, Peering: &st}
+
+	case "drift-status":
+		if d.cfg.Drift == nil {
+			return Response{Error: "drift disabled: daemon started without a drift monitor"}
+		}
+		st := d.cfg.Drift.Status()
+		return Response{OK: true, Drift: &st}
 
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}

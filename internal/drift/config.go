@@ -1,0 +1,181 @@
+// Package drift is the CDN-change detector: an unsupervised monitor over
+// the stream of compiled ratio-map snapshots (crp.DriftFrame) that flags
+// CDN remapping events — mass redirection shifts, replica-set churn, and
+// frozen maps going stale — while staying quiet under client-side LDNS
+// churn.
+//
+// Each (namespace, group) stream keeps an exponentially-decayed baseline
+// centroid and a short window of recent frames. Two drift statistics are
+// computed per frame against the baseline: the cosine distance of the
+// windowed recent centroid, and the Jaccard drift of the top-mass replica
+// sets. Client-side LDNS churn is rejected by common-mode subtraction:
+// churn re-homes clients and therefore moves every namespace's stream of
+// the same population together, while a CDN event moves only the faulted
+// namespace, so a stream's effective drift is capped at twice the part of
+// its raw drift that its quietest peer namespace (same group) cannot
+// explain. Either statistic crossing its threshold (scaled by the
+// configured sensitivity) raises a remap alarm; a near-identical map
+// persisting while the service keeps accepting probes raises a stale alarm.
+// Hysteresis makes one underlying event fire exactly once: an alarmed
+// stream re-arms only after the statistics stay calm for a configured
+// number of frames, and the baseline keeps decaying toward the new regime
+// so a persistent shift is absorbed rather than re-reported.
+//
+// The detector is fully deterministic: it draws no randomness and iterates
+// every structure in sorted order, so the same frame sequence yields the
+// byte-identical event log and report.
+package drift
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Config shapes the detector. The zero value of any field means "use the
+// default"; DecodeConfig and New apply defaults before validating.
+type Config struct {
+	// Sensitivity scales the trip thresholds: the effective centroid and
+	// Jaccard thresholds are the configured ones divided by Sensitivity,
+	// so 2.0 is twice as eager and 0.5 twice as tolerant. Default 1.
+	Sensitivity float64 `json:"sensitivity,omitempty"`
+	// Window is how many recent frames the drift centroid averages. Small
+	// windows react faster and keep event peaks sharp; large windows trade
+	// latency for noise suppression. Default 2.
+	Window int `json:"window,omitempty"`
+	// BaselineAlpha is the EWMA weight of the newest frame in the decayed
+	// baseline centroid. Default 0.25.
+	BaselineAlpha float64 `json:"baselineAlpha,omitempty"`
+	// CentroidThreshold is the base cosine-distance trip point between the
+	// recent centroid and the baseline, applied to the common-mode-rejected
+	// effective distance. Default 0.018 — roughly twice the sampling noise
+	// floor of a population aggregate and half a mapping flap's shift.
+	CentroidThreshold float64 `json:"centroidThreshold,omitempty"`
+	// JaccardThreshold is the base trip point for 1 - Jaccard(topRecent,
+	// topBaseline) over the top-mass replica sets. Default 0.5.
+	JaccardThreshold float64 `json:"jaccardThreshold,omitempty"`
+	// TopMass is the cumulative-mass quantile defining a stream's
+	// top replica set for the Jaccard statistic. Default 0.5.
+	TopMass float64 `json:"topMass,omitempty"`
+	// WarmupFrames is how many frames a stream must deliver before its
+	// alarms arm; the decayed baseline is still converging early on and
+	// reads as drift. The baseline accumulates during warmup. Default 8.
+	WarmupFrames int `json:"warmupFrames,omitempty"`
+	// CalmFrames is how many consecutive calm frames (score below the
+	// re-arm fraction of the trip point) an alarmed stream needs before it
+	// can fire again. Default 3.
+	CalmFrames int `json:"calmFrames,omitempty"`
+	// StaleFrames is how many consecutive near-identical frames (see
+	// StaleEpsilon) — while the service keeps accepting probes — flag a
+	// stream's map as stale. -1 disables stale detection. Default 6.
+	StaleFrames int `json:"staleFrames,omitempty"`
+	// StaleEpsilon is the frame-to-frame cosine distance at or below which
+	// two consecutive compiled maps count as "the same" for stale
+	// detection. Natural epoch rotation keeps consecutive frames well
+	// above it; a frozen mapping collapses an order of magnitude below.
+	// Default 2e-4.
+	StaleEpsilon float64 `json:"staleEpsilon,omitempty"`
+	// MinSupport is the minimum stream support (tracked nodes, or absorbed
+	// probes for aggregation groups) for a frame's stream to be considered.
+	// Default 2.
+	MinSupport int `json:"minSupport,omitempty"`
+}
+
+// rearmFraction: an alarmed stream counts a frame as calm only when its
+// score drops below this fraction of the trip point, so the alarm doesn't
+// chatter around the threshold.
+const rearmFraction = 0.6
+
+// DefaultConfig returns the detector defaults.
+func DefaultConfig() Config {
+	var c Config
+	c.applyDefaults()
+	return c
+}
+
+func (c *Config) applyDefaults() {
+	if c.Sensitivity == 0 {
+		c.Sensitivity = 1
+	}
+	if c.Window == 0 {
+		c.Window = 2
+	}
+	if c.BaselineAlpha == 0 {
+		c.BaselineAlpha = 0.25
+	}
+	if c.CentroidThreshold == 0 {
+		c.CentroidThreshold = 0.018
+	}
+	if c.JaccardThreshold == 0 {
+		c.JaccardThreshold = 0.5
+	}
+	if c.TopMass == 0 {
+		c.TopMass = 0.5
+	}
+	if c.WarmupFrames == 0 {
+		c.WarmupFrames = 8
+	}
+	if c.CalmFrames == 0 {
+		c.CalmFrames = 3
+	}
+	if c.StaleFrames == 0 {
+		c.StaleFrames = 6
+	}
+	if c.StaleEpsilon == 0 {
+		c.StaleEpsilon = 2e-4
+	}
+	if c.MinSupport == 0 {
+		c.MinSupport = 2
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Sensitivity <= 0 || c.Sensitivity > 100:
+		return fmt.Errorf("drift: sensitivity %v out of range (0, 100]", c.Sensitivity)
+	case c.Window < 1 || c.Window > 256:
+		return fmt.Errorf("drift: window %d out of range [1, 256]", c.Window)
+	case c.BaselineAlpha <= 0 || c.BaselineAlpha > 1:
+		return fmt.Errorf("drift: baselineAlpha %v out of range (0, 1]", c.BaselineAlpha)
+	case c.CentroidThreshold <= 0 || c.CentroidThreshold > 1:
+		return fmt.Errorf("drift: centroidThreshold %v out of range (0, 1]", c.CentroidThreshold)
+	case c.JaccardThreshold <= 0 || c.JaccardThreshold > 1:
+		return fmt.Errorf("drift: jaccardThreshold %v out of range (0, 1]", c.JaccardThreshold)
+	case c.TopMass <= 0 || c.TopMass > 1:
+		return fmt.Errorf("drift: topMass %v out of range (0, 1]", c.TopMass)
+	case c.WarmupFrames < 1 || c.WarmupFrames > 1<<16:
+		return fmt.Errorf("drift: warmupFrames %d out of range [1, 65536]", c.WarmupFrames)
+	case c.CalmFrames < 1 || c.CalmFrames > 1<<16:
+		return fmt.Errorf("drift: calmFrames %d out of range [1, 65536]", c.CalmFrames)
+	case c.StaleFrames < -1 || c.StaleFrames > 1<<16:
+		return fmt.Errorf("drift: staleFrames %d out of range [-1, 65536]", c.StaleFrames)
+	case c.StaleEpsilon <= 0 || c.StaleEpsilon > 0.5:
+		return fmt.Errorf("drift: staleEpsilon %v out of range (0, 0.5]", c.StaleEpsilon)
+	case c.MinSupport < 0:
+		return fmt.Errorf("drift: minSupport %d negative", c.MinSupport)
+	}
+	return nil
+}
+
+// DecodeConfig parses a detector config from JSON with the same discipline
+// as the other wire-facing decoders in this repo: unknown fields and
+// trailing data are errors, defaults are applied, and the result is
+// validated. The crpd -drift-config flag and the scenario runner's drift
+// block both come through here.
+func DecodeConfig(data []byte) (Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("drift: decode config: %w", err)
+	}
+	if dec.More() {
+		return Config{}, errors.New("drift: trailing data after the config object")
+	}
+	c.applyDefaults()
+	if err := c.validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

@@ -1,0 +1,48 @@
+package drift
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metrics are the drift.* instruments. They land in the default registry
+// unless WithRegistry redirects them, mirroring the faults plane's pattern,
+// so the crpd stats op surfaces them alongside every other subsystem.
+type metrics struct {
+	frames  *obs.Counter // drift.frames — snapshot frames consumed
+	events  *obs.Counter // drift.events — alarms fired, all kinds
+	remaps  *obs.Counter // drift.events.remap
+	stales  *obs.Counter // drift.events.stale
+	streams *obs.Gauge   // drift.streams — distinct (ns, group) streams seen
+	alarmed *obs.Gauge   // drift.alarmed — streams currently in alarm
+}
+
+func newMetrics(r *obs.Registry) metrics {
+	if r == nil {
+		r = obs.Default()
+	}
+	return metrics{
+		frames:  r.Counter("drift.frames"),
+		events:  r.Counter("drift.events"),
+		remaps:  r.Counter("drift.events.remap"),
+		stales:  r.Counter("drift.events.stale"),
+		streams: r.Gauge("drift.streams"),
+		alarmed: r.Gauge("drift.alarmed"),
+	}
+}
+
+type options struct {
+	registry *obs.Registry
+	interval time.Duration
+	now      func() time.Time
+}
+
+// Option configures New and NewMonitor.
+type Option func(*options)
+
+// WithRegistry directs the drift.* instruments into r instead of the
+// process-wide default registry (tests and per-daemon registries).
+func WithRegistry(r *obs.Registry) Option {
+	return func(o *options) { o.registry = r }
+}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunDriftGatesPassAtDefaults is the drift detector's end-to-end
+// acceptance run: at the default sensitivity the detector must hit the
+// precision/recall gates against the fault plane's ground-truth schedule
+// and stay silent on the churn-only cell.
+func TestRunDriftGatesPassAtDefaults(t *testing.T) {
+	out, err := RunDrift(DefaultDriftParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range out.Gates {
+		if !g.Pass {
+			t.Errorf("gate %s FAIL: %s", g.Name, g.Detail)
+		}
+	}
+	if !out.AllPass {
+		t.Fatalf("drift gates failed:\n%s", RenderDrift(out))
+	}
+	if len(out.Cells) != 4*len(DefaultDriftParams().Sensitivities) {
+		t.Fatalf("got %d cells, want scenarios x sensitivities", len(out.Cells))
+	}
+	truthTotal := 0
+	for _, sched := range out.Truth {
+		truthTotal += len(sched.Events)
+	}
+	if truthTotal == 0 {
+		t.Fatal("no truth events compiled; the gates above were vacuous")
+	}
+	// The sweep must show the sensitivity tradeoff: at least one cell away
+	// from the default sensitivity misses events or false-alarms, otherwise
+	// the sweep axis is dead.
+	sawTradeoff := false
+	for _, c := range out.Cells {
+		if c.Sensitivity != DefaultDriftParams().DefaultSensitivity &&
+			(c.Missed > 0 || c.FalseAlarms > 0) {
+			sawTradeoff = true
+		}
+	}
+	if !sawTradeoff {
+		t.Error("every off-default sensitivity cell is perfect; sweep shows no tradeoff")
+	}
+}
+
+// TestRunDriftDeterministicRerun pins the report's byte-level determinism:
+// the same seed must reproduce the identical outcome, detections and all.
+// CI re-runs the drift bench and compares the report files with cmp; this
+// is the in-process version of that gate.
+func TestRunDriftDeterministicRerun(t *testing.T) {
+	run := func() []byte {
+		out, err := RunDrift(DefaultDriftParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	b1, b2 := run(), run()
+	if string(b1) != string(b2) {
+		t.Fatalf("same-seed reruns differ:\n%s\n%s", b1, b2)
+	}
+}

@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func d(v time.Duration) Duration { return Duration(v) }
+
+// TestCDNEventSchedulePinsWindows pins the compiled schedule exactly for a
+// scenario mixing all three CDN fault shapes.
+func TestCDNEventSchedulePinsWindows(t *testing.T) {
+	sc := Scenario{
+		Seed: 99,
+		Faults: []Fault{
+			{Kind: CDNFreeze, CDN: "cdnB", Start: d(5 * time.Minute), Stop: d(20 * time.Minute)},
+			{Kind: CDNFlap, Start: d(30 * time.Minute), Stop: d(44 * time.Minute)},
+			{Kind: CDNFlap, Period: d(2 * time.Minute), Start: d(46 * time.Minute), Stop: d(52 * time.Minute)},
+		},
+	}
+	got := sc.CDNEventSchedule(30*time.Second, time.Hour)
+	want := EventSchedule{
+		Seed:     99,
+		EpochLen: d(30 * time.Second),
+		Horizon:  d(time.Hour),
+		Events: []TruthEvent{
+			// Freeze: from the first epoch boundary after 5m the pin is
+			// observable as both a shift onto the pinned epoch and a stale
+			// mapping; thaw remap at the window close.
+			{Kind: EventRemap, CDN: "cdnB", Fault: 0, At: d(5*time.Minute + 30*time.Second), Deadline: d(20 * time.Minute)},
+			{Kind: EventStale, CDN: "cdnB", Fault: 0, At: d(5*time.Minute + 30*time.Second), Deadline: d(20 * time.Minute)},
+			{Kind: EventRemap, CDN: "cdnB", Fault: 0, At: d(20 * time.Minute), Deadline: d(time.Hour)},
+			// Pinned flap: remap at start (no stale — the pinned identity
+			// still jitters with the naturally advancing epochStart), thaw
+			// remap at the close.
+			{Kind: EventRemap, Fault: 1, At: d(30 * time.Minute), Deadline: d(44 * time.Minute)},
+			{Kind: EventRemap, Fault: 1, At: d(44 * time.Minute), Deadline: d(time.Hour)},
+			// Periodic flap: a remap at every period boundary, then the thaw.
+			{Kind: EventRemap, Fault: 2, At: d(46 * time.Minute), Deadline: d(48 * time.Minute)},
+			{Kind: EventRemap, Fault: 2, At: d(48 * time.Minute), Deadline: d(50 * time.Minute)},
+			{Kind: EventRemap, Fault: 2, At: d(50 * time.Minute), Deadline: d(52 * time.Minute)},
+			{Kind: EventRemap, Fault: 2, At: d(52 * time.Minute), Deadline: d(time.Hour)},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("schedule mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCDNEventScheduleClipsToHorizon(t *testing.T) {
+	sc := Scenario{
+		Seed: 1,
+		Faults: []Fault{
+			// Open-ended pinned flap: clipped to the horizon, no thaw remap.
+			{Kind: CDNFlap, Start: d(10 * time.Minute)},
+			// Starts past the horizon: contributes nothing.
+			{Kind: CDNFreeze, Start: d(2 * time.Hour)},
+			// Non-CDN faults contribute nothing.
+			{Kind: ProbeLoss, Rate: 0.5, Start: d(0)},
+		},
+	}
+	got := sc.CDNEventSchedule(30*time.Second, time.Hour)
+	want := []TruthEvent{
+		{Kind: EventRemap, Fault: 0, At: d(10 * time.Minute), Deadline: d(time.Hour)},
+	}
+	if !reflect.DeepEqual(got.Events, want) {
+		t.Fatalf("clipped schedule mismatch:\n got %+v\nwant %+v", got.Events, want)
+	}
+}
+
+// TestCDNEventScheduleJSONStable round-trips the schedule through JSON: the
+// drift experiment embeds it in reports that are byte-compared across
+// reruns, so the encoding must be lossless.
+func TestCDNEventScheduleJSONStable(t *testing.T) {
+	sc := Scenario{
+		Seed: 7,
+		Faults: []Fault{
+			{Kind: CDNFlap, CDN: "cdnB", Start: d(3 * time.Minute), Stop: d(9 * time.Minute)},
+		},
+	}
+	sched := sc.CDNEventSchedule(30*time.Second, 30*time.Minute)
+	b1, err := json.Marshal(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back EventSchedule
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, sched) {
+		t.Fatalf("JSON roundtrip changed the schedule:\n got %+v\nwant %+v", back, sched)
+	}
+	b2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("re-encoding not byte-identical:\n%s\n%s", b1, b2)
+	}
+}

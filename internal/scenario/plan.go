@@ -154,6 +154,19 @@ type Group struct {
 	Replicas int `json:"replicas,omitempty"`
 }
 
+// DriftPlan attaches the CDN-change detector (internal/drift) to the run:
+// every Every ticks the runner snapshots daemon 0's compiled ratio-map
+// stream and feeds the detector, on the virtual clock. Mem transport only
+// — the event sequence is part of the deterministic report slice, and only
+// the virtual clock makes frame timing replayable.
+type DriftPlan struct {
+	// Every is the frame cadence in ticks (default 5).
+	Every int `json:"every,omitempty"`
+	// Sensitivity scales the detector's alarm thresholds (default 1;
+	// above 1 is touchier, below 1 more tolerant).
+	Sensitivity float64 `json:"sensitivity,omitempty"`
+}
+
 // Envelope declares the run's pass/fail gates. Zero-valued fields are not
 // checked. Gates split into deterministic ones (error budget, completion
 // floors, rate accuracy, convergence, snapshot match — reported in the Det
@@ -177,6 +190,10 @@ type Envelope struct {
 	RequireSnapshotMatch bool `json:"requireSnapshotMatch,omitempty"`
 	// MaxP99Ms bounds each client group's round-trip latency p99.
 	MaxP99Ms float64 `json:"maxP99Ms,omitempty"`
+	// MaxDriftEvents bounds the detector's fired alarms (requires the
+	// plan's drift block). A pointer so an explicit 0 ("the workload must
+	// not look like a CDN remap") is distinguishable from unset.
+	MaxDriftEvents *int `json:"maxDriftEvents,omitempty"`
 }
 
 // Plan is one complete scenario.
@@ -207,6 +224,9 @@ type Plan struct {
 	// AggregateBits, when non-zero, enables the prefix aggregation plane on
 	// every daemon with /bits IPv4 grouping (crp.PrefixKeyFunc).
 	AggregateBits int `json:"aggregateBits,omitempty"`
+	// Drift, when present, runs the CDN-change detector against daemon
+	// 0's compiled stream during the driven window (mem transport only).
+	Drift *DriftPlan `json:"drift,omitempty"`
 	// Groups is the node population. Required non-empty.
 	Groups []Group `json:"groups"`
 	// Faults is an internal/faults scenario applied verbatim to every
@@ -263,6 +283,9 @@ func (p *Plan) setDefaults() {
 	}
 	if p.TTL == 0 {
 		p.TTL = 3
+	}
+	if p.Drift != nil && p.Drift.Every == 0 {
+		p.Drift.Every = 5
 	}
 	for i := range p.Groups {
 		g := &p.Groups[i]
@@ -329,6 +352,17 @@ func (p *Plan) Validate() error {
 	}
 	if p.AggregateBits < 0 || p.AggregateBits > 32 {
 		return planErr("aggregateBits", "must be in [0,32], got %d", p.AggregateBits)
+	}
+	if p.Drift != nil {
+		if p.Transport != TransportMem {
+			return planErr("drift", "the detector's event sequence is only deterministic on the mem transport")
+		}
+		if p.Drift.Every < 1 {
+			return planErr("drift.every", "must be >= 1 tick, got %d", p.Drift.Every)
+		}
+		if p.Drift.Sensitivity < 0 {
+			return planErr("drift.sensitivity", "negative: %v", p.Drift.Sensitivity)
+		}
 	}
 	if len(p.Groups) == 0 {
 		return planErr("groups", "at least one group is required")
@@ -541,6 +575,14 @@ func (p *Plan) validateEnvelope() error {
 	}
 	if e.RequireSnapshotMatch && p.AggregateBits > 0 {
 		return planErr("envelope.requireSnapshotMatch", "aggregated observations are local ingest compaction and never enter snapshots")
+	}
+	if e.MaxDriftEvents != nil {
+		if *e.MaxDriftEvents < 0 {
+			return planErr("envelope.maxDriftEvents", "must be non-negative")
+		}
+		if p.Drift == nil {
+			return planErr("envelope.maxDriftEvents", "requires the plan's drift block (nothing runs the detector otherwise)")
+		}
 	}
 	return nil
 }

@@ -287,6 +287,36 @@ func TestDecodePlanMalformed(t *testing.T) {
 			field: "envelope.requireSnapshotMatch", detail: "aggregat",
 		},
 		{
+			name: "drift on udp",
+			raw: mutate(t, func(p map[string]any) {
+				p["transport"] = "udp"
+				p["drift"] = map[string]any{"every": 5}
+			}),
+			field: "drift", detail: "mem",
+		},
+		{
+			name: "drift negative sensitivity",
+			raw: mutate(t, func(p map[string]any) {
+				p["drift"] = map[string]any{"sensitivity": -1}
+			}),
+			field: "drift.sensitivity",
+		},
+		{
+			name: "drift event budget without detector",
+			raw: mutate(t, func(p map[string]any) {
+				p["envelope"] = map[string]any{"maxDriftEvents": 0}
+			}),
+			field: "envelope.maxDriftEvents", detail: "drift block",
+		},
+		{
+			name: "negative drift event budget",
+			raw: mutate(t, func(p map[string]any) {
+				p["drift"] = map[string]any{}
+				p["envelope"] = map[string]any{"maxDriftEvents": -1}
+			}),
+			field: "envelope.maxDriftEvents",
+		},
+		{
 			name: "error budget out of range",
 			raw: mutate(t, func(p map[string]any) {
 				p["envelope"] = map[string]any{"maxErrorRate": 1.5}
@@ -376,6 +406,10 @@ func TestGenerateScenarioFuzzCorpus(t *testing.T) {
 				{Kind: faults.PacketLoss, Rate: 0.05, Target: "gossip"},
 			}}
 			p["envelope"] = map[string]any{"requireConverged": true, "maxConvergeRounds": 50}
+		}),
+		mutate(t, func(p map[string]any) {
+			p["drift"] = map[string]any{"every": 3, "sensitivity": 1.5}
+			p["envelope"] = map[string]any{"maxDriftEvents": 0}
 		}),
 		[]byte(`{}`),
 		[]byte(`{"name":"x","seed":0,"duration":"1s"}`),

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/drift"
 	"repro/internal/faults"
 	"repro/internal/obs"
 )
@@ -55,8 +56,15 @@ type DetReport struct {
 	// udp the gossip tick count is wall-clock-driven, so the counts are
 	// real but not replayable).
 	Activations map[faults.Kind]uint64 `json:"activations,omitempty"`
-	Verdicts    []Verdict              `json:"verdicts"`
-	AllPass     bool                   `json:"allPass"`
+	// DriftFrames counts the detector frames captured from daemon 0's
+	// compiled stream and DriftEvents the alarms they fired, in firing
+	// order. Only populated when the plan carries a drift block (mem
+	// transport); frame timestamps ride the virtual clock, so the events
+	// are part of the byte-compared slice.
+	DriftFrames int           `json:"driftFrames,omitempty"`
+	DriftEvents []drift.Event `json:"driftEvents,omitempty"`
+	Verdicts    []Verdict     `json:"verdicts"`
+	AllPass     bool          `json:"allPass"`
 }
 
 // GroupTiming is one driven group's wall-clock slice.

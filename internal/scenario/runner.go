@@ -11,6 +11,7 @@ import (
 
 	"repro/crp"
 	"repro/internal/crpdaemon"
+	"repro/internal/drift"
 	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -425,6 +426,19 @@ func (r *runner) runMem() (*Report, error) {
 		}
 	}
 
+	// The drift monitor watches daemon 0's compiled stream on the virtual
+	// clock, so its frame timestamps and event sequence replay exactly.
+	var mon *drift.Monitor
+	var driftFrames int
+	var driftEvents []drift.Event
+	if p.Drift != nil {
+		mon, err = drift.NewMonitor(svcs[0], drift.Config{Sensitivity: p.Drift.Sensitivity},
+			drift.WithRegistry(r.reg), drift.WithClock(clock))
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	exec := func(so *schedOp) error {
 		raw, err := encodeOp(so)
 		if err != nil {
@@ -514,6 +528,10 @@ func (r *runner) runMem() (*Report, error) {
 		if len(engines) > 0 {
 			round()
 		}
+		if mon != nil && (t+1)%p.Drift.Every == 0 {
+			driftFrames++
+			driftEvents = append(driftEvents, mon.Tick()...)
+		}
 	}
 
 	// Convergence phase: keep gossiping past the window until the digests
@@ -560,6 +578,8 @@ func (r *runner) runMem() (*Report, error) {
 	if plane != nil {
 		det.Activations = plane.Activations()
 	}
+	det.DriftFrames = driftFrames
+	det.DriftEvents = driftEvents
 
 	rep := r.finishReport(det, wallStart, 0, nil)
 
@@ -951,6 +971,12 @@ func (r *runner) finishReport(det *DetReport, wallStart time.Time, convergeWait 
 	if e.RequireSnapshotMatch {
 		det.Verdicts = append(det.Verdicts, verdict("snapshot-match", det.SnapshotMatch,
 			"converged stores byte-match the merged-stream mirror: %v", det.SnapshotMatch))
+	}
+	if e.MaxDriftEvents != nil {
+		det.Verdicts = append(det.Verdicts, verdict("drift-events",
+			len(det.DriftEvents) <= *e.MaxDriftEvents,
+			"%d detector events over %d frames, budget %d",
+			len(det.DriftEvents), det.DriftFrames, *e.MaxDriftEvents))
 	}
 
 	det.AllPass = true

@@ -257,3 +257,46 @@ func TestScenarioUDPSmokeThreeDaemons(t *testing.T) {
 		t.Fatalf("same-seed UDP det reports differ:\n--- run1\n%s\n--- run2\n%s", det1, det2)
 	}
 }
+
+// TestScenarioDriftBlock runs a plan carrying the drift block: the runner
+// must tick the detector on the declared cadence, report the frame count
+// and event list in the Det slice, and evaluate the drift-events gate. A
+// stationary constant-rate workload must not look like a CDN remap.
+func TestScenarioDriftBlock(t *testing.T) {
+	const planJSON = `{
+	  "name": "unit-drift",
+	  "seed": 311,
+	  "transport": "mem",
+	  "daemons": 1,
+	  "duration": "24s",
+	  "drift": {"every": 4},
+	  "groups": [
+	    {"name": "web", "kind": "clients", "size": 30, "home": 0, "ns": "cdnA",
+	     "arrival": {"process": "constant", "rate": 20},
+	     "ops": {"observe": 0.8, "closest": 0.2}}
+	  ],
+	  "envelope": {"maxErrorRate": 0, "maxDriftEvents": 0}
+	}`
+	rep, err := Run(decodeTestPlan(t, planJSON), Options{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Det.DriftFrames != 6 {
+		t.Fatalf("DriftFrames = %d, want 24 ticks / every 4 = 6", rep.Det.DriftFrames)
+	}
+	if len(rep.Det.DriftEvents) != 0 {
+		t.Fatalf("stationary workload fired drift events: %+v", rep.Det.DriftEvents)
+	}
+	found := false
+	for _, v := range rep.Det.Verdicts {
+		if v.Gate == "drift-events" {
+			found = true
+			if !v.Pass {
+				t.Fatalf("drift-events gate failed: %s", v.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no drift-events verdict in the det report")
+	}
+}
